@@ -1,0 +1,36 @@
+// Reproduces Appendix E (Fig. 9): the model card of a repository model —
+// the text artifact the Table I text-based-similarity baseline embeds.
+// Prints the cards of one fine-tuned and one base checkpoint from each
+// domain.
+
+#include <iostream>
+
+#include "model/model_card.h"
+#include "model/paper_zoo.h"
+#include "model/zoo.h"
+#include "util/logging.h"
+
+namespace tps {
+namespace {
+
+void PrintCard(const ModelZoo& zoo, const char* name) {
+  auto model = zoo.Find(name);
+  TPS_CHECK_OK(model.status());
+  std::cout << "---- model card: " << name << " ----\n"
+            << GenerateModelCard((*model)->spec()) << "\n";
+}
+
+}  // namespace
+}  // namespace tps
+
+int main() {
+  using namespace tps;
+  auto nlp = ModelZoo::Create(NlpPaperZooSpecs());
+  TPS_CHECK_OK(nlp.status());
+  PrintCard(*nlp, "ishan/bert-base-uncased-mnli");
+  PrintCard(*nlp, "roberta-base");
+  auto cv = ModelZoo::Create(CvPaperZooSpecs());
+  TPS_CHECK_OK(cv.status());
+  PrintCard(*cv, "microsoft/beit-base-patch16-224");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces Fig. 3: per-epoch validation and test accuracy of the top-10
+// recalled models on MNLI at the default learning rate 3e-5. The paper's
+// observations: the eventual winners lead from the first epoch, and the top
+// models decline slightly late in training (overfitting at this rate).
+
+#include "bench/curve_report.h"
+
+int main() {
+  tps::bench::PrintTopModelCurves("mnli", /*learning_rate=*/3e-5);
+  return 0;
+}

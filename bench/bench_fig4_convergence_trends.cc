@@ -1,0 +1,53 @@
+// Reproduces Fig. 4: one model's validation/test performance across all
+// benchmark datasets groups into a handful of convergence trends. The
+// paper shows the DoyyingFace BERT variant's curves on 30 datasets forming
+// ~4 groups; we mine trends for the same model (NLP) and print each trend's
+// member datasets and summary statistics.
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "core/convergence_trend.h"
+#include "util/string_util.h"
+
+namespace tps {
+namespace bench {
+namespace {
+
+constexpr char kModelName[] =
+    "DoyyingFace/bert-asian-hate-tweets-asian-unclean-freeze-4";
+
+void Report() {
+  World world = ExitIfError(BuildWorld(TaskDomain::kNLP), "build world");
+  const size_t model_index =
+      ExitIfError(world.zoo->IndexOf(kModelName), "find model");
+
+  std::cout << "=== Fig. 4: convergence trends of " << kModelName
+            << " on " << world.matrix->num_datasets()
+            << " benchmark datasets ===\n";
+  ConvergenceTrendMiner miner(world.matrix.get());
+  for (int stage = 0; stage < 2; ++stage) {
+    const std::vector<ConvergenceTrend> trends = ExitIfError(
+        miner.MineTrends(model_index, stage), "mine trends");
+    std::cout << "stage " << stage + 1 << " (validation after epoch "
+              << stage + 1 << "): " << trends.size() << " trends\n";
+    for (size_t x = 0; x < trends.size(); ++x) {
+      std::cout << strings::Format(
+          "  trend %zu: mean val %.3f -> mean final test %.3f, datasets:",
+          x, trends[x].mean_val, trends[x].mean_final_test);
+      for (size_t d : trends[x].dataset_indices) {
+        std::cout << " " << world.matrix->dataset_names()[d];
+      }
+      std::cout << "\n";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tps
+
+int main() {
+  tps::bench::Report();
+  return 0;
+}

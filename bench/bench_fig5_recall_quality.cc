@@ -1,0 +1,77 @@
+// Reproduces Fig. 5: mean true fine-tuning accuracy of the top-K models
+// returned by coarse-recall vs random recall, for K in {5, 10, 15, 20}, on
+// all eight target datasets. Also reports the smallest K whose recalled
+// set contains the true best model (the paper reports 5-15).
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/harness.h"
+#include "core/coarse_recall.h"
+#include "core/evaluation.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace tps {
+namespace bench {
+namespace {
+
+constexpr size_t kRandomDraws = 50;
+
+void Report(TaskDomain domain, const char* title) {
+  World world = ExitIfError(BuildWorld(domain), "build world");
+  CoarseRecall recall(world.zoo.get(), world.matrix.get(),
+                      world.clustering.get());
+
+  std::cout << "=== Fig. 5: recall quality (" << title << ") ===\n";
+  TablePrinter table({"target", "K", "coarse-recall", "random-recall",
+                      "best model contained", "regret@K"});
+  Rng rng(2024);
+  for (const Dataset* target : world.Targets()) {
+    RecallResult result = ExitIfError(
+        recall.Recall(*target, RecallOptions(), /*budget=*/nullptr),
+        "recall " + target->name());
+    const std::vector<double> truth = ExitIfError(
+        TrueFinalAccuracies(*world.zoo, *target, *world.simulator,
+                            world.DefaultHp()),
+        "truth " + target->name());
+    const size_t best_model = BestModel(truth);
+    const size_t best_rank = result.RankOf(best_model);
+
+    for (size_t k : {5, 10, 15, 20}) {
+      const double recalled_mean = MeanAt(truth, result.TopModels(k));
+      double random_mean = 0.0;
+      for (size_t draw = 0; draw < kRandomDraws; ++draw) {
+        random_mean += MeanAt(
+            truth, rng.SampleWithoutReplacement(world.zoo->size(), k));
+      }
+      random_mean /= static_cast<double>(kRandomDraws);
+      // Regret: gap between the global best model and the best model the
+      // recall set actually contains.
+      double best_recalled = 0.0;
+      for (size_t index : result.TopModels(k)) {
+        best_recalled = std::max(best_recalled, truth[index]);
+      }
+      table.AddRow({target->name(), std::to_string(k),
+                    strings::FormatDouble(recalled_mean, 3),
+                    strings::FormatDouble(random_mean, 3),
+                    best_rank < k ? "yes" : "no",
+                    strings::FormatDouble(truth[best_model] - best_recalled,
+                                          3)});
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tps
+
+int main() {
+  tps::bench::Report(tps::TaskDomain::kNLP, "NLP targets");
+  tps::bench::Report(tps::TaskDomain::kCV, "CV targets");
+  return 0;
+}

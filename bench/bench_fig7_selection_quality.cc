@@ -1,0 +1,83 @@
+// Reproduces Fig. 7: final accuracy of the model selected by successive
+// halving (SH) vs fine-selection (FS), starting from the 10 coarse-recalled
+// models and from the full zoo (40 NLP / 30 CV), on all eight targets; the
+// best and worst true accuracies within the recalled top-10 bound the
+// range. The paper: FS always picks the optimal or near-optimal model; SH
+// sometimes does not.
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "core/baselines.h"
+#include "core/coarse_recall.h"
+#include "core/convergence_trend.h"
+#include "core/evaluation.h"
+#include "core/fine_selection.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace tps {
+namespace bench {
+namespace {
+
+void Report(TaskDomain domain, const char* title) {
+  World world = ExitIfError(BuildWorld(domain), "build world");
+  const Hyperparams hp = world.DefaultHp();
+  CoarseRecall recall(world.zoo.get(), world.matrix.get(),
+                      world.clustering.get());
+  ConvergenceTrendMiner miner(world.matrix.get());
+  SuccessiveHalvingSelector sh(world.zoo.get(), world.simulator.get());
+  FineSelectionSelector fs(world.zoo.get(), world.simulator.get(), &miner);
+
+  std::vector<size_t> all_models(world.zoo->size());
+  for (size_t i = 0; i < all_models.size(); ++i) all_models[i] = i;
+
+  std::cout << "=== Fig. 7: selected-model accuracy, SH vs FS (" << title
+            << ") ===\n";
+  TablePrinter table({"target", "SH@10", "FS@10", "SH@all", "FS@all",
+                      "best@10", "worst@10"});
+  for (const Dataset* target : world.Targets()) {
+    RecallResult rr = ExitIfError(
+        recall.Recall(*target, RecallOptions(), nullptr),
+        "recall " + target->name());
+    const std::vector<size_t> top10 = rr.TopModels(10);
+    const std::vector<double> truth = ExitIfError(
+        TrueFinalAccuracies(*world.zoo, *target, *world.simulator, hp),
+        "truth " + target->name());
+
+    double best10 = 0.0, worst10 = 1.0;
+    for (size_t index : top10) {
+      best10 = std::max(best10, truth[index]);
+      worst10 = std::min(worst10, truth[index]);
+    }
+
+    const SelectionOutcome sh10 = ExitIfError(
+        sh.Select(top10, *target, hp, nullptr), "sh10");
+    const SelectionOutcome fs10 = ExitIfError(
+        fs.Select(top10, *target, hp, nullptr), "fs10");
+    const SelectionOutcome sh_all = ExitIfError(
+        sh.Select(all_models, *target, hp, nullptr), "sh-all");
+    const SelectionOutcome fs_all = ExitIfError(
+        fs.Select(all_models, *target, hp, nullptr), "fs-all");
+
+    table.AddRow({target->name(),
+                  strings::FormatDouble(sh10.selected_accuracy, 3),
+                  strings::FormatDouble(fs10.selected_accuracy, 3),
+                  strings::FormatDouble(sh_all.selected_accuracy, 3),
+                  strings::FormatDouble(fs_all.selected_accuracy, 3),
+                  strings::FormatDouble(best10, 3),
+                  strings::FormatDouble(worst10, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tps
+
+int main() {
+  tps::bench::Report(tps::TaskDomain::kNLP, "NLP");
+  tps::bench::Report(tps::TaskDomain::kCV, "CV");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Microbenchmarks (google-benchmark) for the library's computational
+// kernels: LEEP / NCE / LogME / kNN proxy scoring, pairwise Eq. 1
+// distances, k-means, hierarchical clustering, and the fine-tune
+// simulator. These are the per-call costs the online phase pays.
+
+#include <benchmark/benchmark.h>
+
+#include "clustering/distance.h"
+#include "clustering/hierarchical.h"
+#include "clustering/kmeans.h"
+#include "data/registry.h"
+#include "model/paper_zoo.h"
+#include "model/zoo.h"
+#include "sim/finetune_simulator.h"
+#include "transfer/knn_proxy.h"
+#include "transfer/leep.h"
+#include "transfer/logme.h"
+#include "transfer/nce.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tps {
+namespace {
+
+const Dataset& TargetDataset() {
+  static const Dataset* dataset = [] {
+    auto registry = DatasetRegistry::CreatePaperInventory();
+    TPS_CHECK_OK(registry.status());
+    static DatasetRegistry owned = std::move(registry).value();
+    auto found = owned.Find("mnli");
+    TPS_CHECK_OK(found.status());
+    return *found;
+  }();
+  return *dataset;
+}
+
+const PretrainedModel& Model() {
+  static const PretrainedModel* model = [] {
+    auto zoo = ModelZoo::Create(NlpPaperZooSpecs());
+    TPS_CHECK_OK(zoo.status());
+    static ModelZoo owned = std::move(zoo).value();
+    auto found = owned.Find("bert-base-uncased");
+    TPS_CHECK_OK(found.status());
+    return *found;
+  }();
+  return *model;
+}
+
+void BM_LeepScore(benchmark::State& state) {
+  LeepScorer scorer;
+  for (auto _ : state) {
+    auto score = scorer.Score(Model(), TargetDataset());
+    TPS_CHECK_OK(score.status());
+    benchmark::DoNotOptimize(*score);
+  }
+}
+BENCHMARK(BM_LeepScore);
+
+void BM_NceScore(benchmark::State& state) {
+  NceScorer scorer;
+  for (auto _ : state) {
+    auto score = scorer.Score(Model(), TargetDataset());
+    TPS_CHECK_OK(score.status());
+    benchmark::DoNotOptimize(*score);
+  }
+}
+BENCHMARK(BM_NceScore);
+
+void BM_LogMeScore(benchmark::State& state) {
+  LogMeScorer scorer;
+  for (auto _ : state) {
+    auto score = scorer.Score(Model(), TargetDataset());
+    TPS_CHECK_OK(score.status());
+    benchmark::DoNotOptimize(*score);
+  }
+}
+BENCHMARK(BM_LogMeScore);
+
+void BM_KnnScore(benchmark::State& state) {
+  KnnScorer scorer;
+  for (auto _ : state) {
+    auto score = scorer.Score(Model(), TargetDataset());
+    TPS_CHECK_OK(score.status());
+    benchmark::DoNotOptimize(*score);
+  }
+}
+BENCHMARK(BM_KnnScore);
+
+void BM_FineTuneRun(benchmark::State& state) {
+  FineTuneSimulator simulator;
+  const Hyperparams hp = Hyperparams::DefaultsFor(TaskDomain::kNLP);
+  for (auto _ : state) {
+    auto run = simulator.Run(Model(), TargetDataset(), hp);
+    TPS_CHECK_OK(run.status());
+    benchmark::DoNotOptimize(run->final_test());
+  }
+}
+BENCHMARK(BM_FineTuneRun);
+
+Matrix RandomVectors(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, dims);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dims; ++j) m.At(i, j) = rng.Uniform();
+  }
+  return m;
+}
+
+void BM_PairwiseTopKDistances(benchmark::State& state) {
+  const Matrix vectors =
+      RandomVectors(static_cast<size_t>(state.range(0)), 24, 7);
+  for (auto _ : state) {
+    auto distances =
+        PairwiseDistances(vectors, DistanceMetric::kTopKAbsDiff, 5);
+    TPS_CHECK_OK(distances.status());
+    benchmark::DoNotOptimize(distances->At(0, 0));
+  }
+}
+BENCHMARK(BM_PairwiseTopKDistances)->Arg(40)->Arg(200)->Arg(1000);
+
+void BM_KMeans(benchmark::State& state) {
+  const Matrix points =
+      RandomVectors(static_cast<size_t>(state.range(0)), 24, 11);
+  KMeansOptions options;
+  options.num_clusters = 8;
+  for (auto _ : state) {
+    auto result = KMeans(points, options);
+    TPS_CHECK_OK(result.status());
+    benchmark::DoNotOptimize(result->inertia);
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(40)->Arg(200)->Arg(1000);
+
+void BM_HierarchicalCluster(benchmark::State& state) {
+  const Matrix vectors =
+      RandomVectors(static_cast<size_t>(state.range(0)), 24, 13);
+  auto distances =
+      PairwiseDistances(vectors, DistanceMetric::kEuclidean, 5);
+  TPS_CHECK_OK(distances.status());
+  HierarchicalOptions options;
+  options.num_clusters = 8;
+  for (auto _ : state) {
+    auto result = HierarchicalCluster(*distances, options);
+    TPS_CHECK_OK(result.status());
+    benchmark::DoNotOptimize(result->clustering.num_clusters);
+  }
+}
+BENCHMARK(BM_HierarchicalCluster)->Arg(40)->Arg(200);
+
+}  // namespace
+}  // namespace tps
+
+BENCHMARK_MAIN();

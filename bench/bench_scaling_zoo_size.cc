@@ -1,0 +1,78 @@
+// Scaling ablation (Section V.C.3, "scaling to more models"): how selection
+// cost grows with repository size for brute force, successive halving,
+// fine-selection and the full two-phase pipeline, on synthetic zoos of
+// 50-400 models. The paper's argument: two-phase cost is dominated by the
+// recalled-set size, so it flattens while BF/SH grow linearly.
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "core/baselines.h"
+#include "core/two_phase.h"
+#include "data/registry.h"
+#include "model/paper_zoo.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace tps {
+namespace bench {
+namespace {
+
+void Report() {
+  DatasetRegistry registry = ExitIfError(
+      DatasetRegistry::CreatePaperInventory(), "registry");
+  const Dataset* target = ExitIfError(registry.Find("mnli"), "target");
+  const auto benchmarks = registry.Benchmarks(TaskDomain::kNLP);
+  const Hyperparams hp = Hyperparams::DefaultsFor(TaskDomain::kNLP);
+  FineTuneSimulator simulator;
+
+  std::cout << "=== Scaling: selection cost vs zoo size (synthetic NLP "
+               "zoos, target mnli) ===\n";
+  TablePrinter table({"zoo size", "BF epochs", "SH epochs", "2PH epochs",
+                      "2PH speedup vs SH", "acc BF", "acc 2PH"});
+  for (size_t zoo_size : {50, 100, 200, 400}) {
+    ModelZoo zoo = ExitIfError(
+        ModelZoo::Create(SyntheticZooSpecs(TaskDomain::kNLP, zoo_size, 17)),
+        "zoo");
+    PerformanceMatrix matrix = ExitIfError(
+        PerformanceMatrix::Build(zoo, benchmarks, simulator, hp), "matrix");
+    ModelClustering clustering = ExitIfError(
+        ClusterModels(matrix, zoo, ModelClusteringOptions()), "clustering");
+
+    std::vector<size_t> all_models(zoo.size());
+    for (size_t i = 0; i < all_models.size(); ++i) all_models[i] = i;
+
+    BruteForceSelector bf(&zoo, &simulator);
+    EpochBudget bf_budget;
+    const SelectionOutcome bf_out = ExitIfError(
+        bf.Select(all_models, *target, hp, &bf_budget), "bf");
+
+    SuccessiveHalvingSelector sh(&zoo, &simulator);
+    EpochBudget sh_budget;
+    ExitIfError(sh.Select(all_models, *target, hp, &sh_budget), "sh");
+
+    TwoPhaseSelector two_phase(&zoo, &matrix, &clustering, &simulator);
+    TwoPhaseReport report = ExitIfError(
+        two_phase.Select(*target, TwoPhaseOptions(), hp), "2ph");
+
+    table.AddRow(
+        {std::to_string(zoo_size),
+         strings::FormatDouble(bf_budget.total_epochs(), 0),
+         strings::FormatDouble(sh_budget.total_epochs(), 0),
+         strings::FormatDouble(report.budget.total_epochs(), 1),
+         strings::Format("%.2fx", sh_budget.total_epochs() /
+                                      report.budget.total_epochs()),
+         strings::FormatDouble(bf_out.selected_accuracy, 3),
+         strings::FormatDouble(report.selection.selected_accuracy, 3)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tps
+
+int main() {
+  tps::bench::Report();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces Table II: non-singleton model clusters from hierarchical
+// clustering over performance-matrix vectors (Eq. 1 similarity, k = 5),
+// for both the NLP and CV zoos. The paper reports 8 NLP clusters covering
+// 30/40 models and 6 CV clusters covering almost all 30; lineage groups
+// (bert_ft_qqp-*, init_bert_ft_qqp-*, BEiT/ViT ImageNet-21k, ...) should
+// co-cluster.
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "core/model_clusterer.h"
+
+namespace tps {
+namespace bench {
+namespace {
+
+void Report(TaskDomain domain, const char* title) {
+  World world = ExitIfError(BuildWorld(domain), "build world");
+  std::cout << "=== Table II: model clusters (" << title << ") ===\n";
+  const std::vector<int> non_singleton =
+      world.clustering->NonSingletonClusters();
+  size_t covered = 0;
+  for (int c : non_singleton) {
+    covered += world.clustering->clusters.Members(c).size();
+  }
+  std::cout << non_singleton.size() << " non-singleton clusters covering "
+            << covered << "/" << world.zoo->size() << " models\n";
+  std::cout << FormatClusters(*world.clustering, *world.zoo,
+                              /*include_singletons=*/false)
+            << "\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tps
+
+int main() {
+  tps::bench::Report(tps::TaskDomain::kNLP, "Natural Language Processing");
+  tps::bench::Report(tps::TaskDomain::kCV, "Computer Vision");
+  return 0;
+}

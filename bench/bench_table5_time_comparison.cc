@@ -1,0 +1,97 @@
+// Reproduces Table V: total training epochs and speedup vs brute force for
+// successive halving (SH) and fine-selection (FS), at two candidate-set
+// sizes: the 10 coarse-recalled models and the whole zoo (40 NLP / 30 CV).
+// The paper reports SH ~2.2-2.6x and FS ~2.4-4.6x over brute force.
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "core/baselines.h"
+#include "core/coarse_recall.h"
+#include "core/convergence_trend.h"
+#include "core/fine_selection.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace tps {
+namespace bench {
+namespace {
+
+void Report(TaskDomain domain, const char* title) {
+  World world = ExitIfError(BuildWorld(domain), "build world");
+  const Hyperparams hp = world.DefaultHp();
+
+  CoarseRecall recall(world.zoo.get(), world.matrix.get(),
+                      world.clustering.get());
+  ConvergenceTrendMiner miner(world.matrix.get());
+  SuccessiveHalvingSelector sh(world.zoo.get(), world.simulator.get());
+  FineSelectionSelector fs(world.zoo.get(), world.simulator.get(), &miner);
+  BruteForceSelector bf(world.zoo.get(), world.simulator.get());
+
+  std::vector<size_t> all_models(world.zoo->size());
+  for (size_t i = 0; i < all_models.size(); ++i) all_models[i] = i;
+
+  std::cout << "=== Table V: selection time (" << title << ", "
+            << hp.epochs << " epochs/model, zoo size " << world.zoo->size()
+            << ") ===\n";
+  TablePrinter table({"target", "method", "epochs@10", "speedup@10",
+                      "epochs@all", "speedup@all"});
+
+  for (const Dataset* target : world.Targets()) {
+    RecallResult rr = ExitIfError(
+        recall.Recall(*target, RecallOptions(), nullptr),
+        "recall " + target->name());
+    const std::vector<size_t> top10 = rr.TopModels(10);
+
+    struct MethodRow {
+      const char* name;
+      double epochs10;
+      double epochs_all;
+    };
+    std::vector<MethodRow> rows;
+
+    const SelectionOutcome bf10 = ExitIfError(
+        bf.Select(top10, *target, hp, nullptr), "bf10 " + target->name());
+    const SelectionOutcome bf_all = ExitIfError(
+        bf.Select(all_models, *target, hp, nullptr),
+        "bf-all " + target->name());
+    rows.push_back({"BF", bf10.training_epochs, bf_all.training_epochs});
+
+    const SelectionOutcome sh10 = ExitIfError(
+        sh.Select(top10, *target, hp, nullptr), "sh10 " + target->name());
+    const SelectionOutcome sh_all = ExitIfError(
+        sh.Select(all_models, *target, hp, nullptr),
+        "sh-all " + target->name());
+    rows.push_back({"SH", sh10.training_epochs, sh_all.training_epochs});
+
+    const SelectionOutcome fs10 = ExitIfError(
+        fs.Select(top10, *target, hp, nullptr), "fs10 " + target->name());
+    const SelectionOutcome fs_all = ExitIfError(
+        fs.Select(all_models, *target, hp, nullptr),
+        "fs-all " + target->name());
+    rows.push_back({"FS", fs10.training_epochs, fs_all.training_epochs});
+
+    for (const MethodRow& row : rows) {
+      table.AddRow(
+          {target->name(), row.name,
+           strings::FormatDouble(row.epochs10, 0),
+           strings::Format("%.2fx", bf10.training_epochs / row.epochs10),
+           strings::FormatDouble(row.epochs_all, 0),
+           strings::Format("%.2fx",
+                           bf_all.training_epochs / row.epochs_all)});
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tps
+
+int main() {
+  tps::bench::Report(tps::TaskDomain::kNLP, "NLP");
+  tps::bench::Report(tps::TaskDomain::kCV, "CV");
+  return 0;
+}

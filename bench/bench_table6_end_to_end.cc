@@ -1,0 +1,70 @@
+// Reproduces Table VI: end-to-end comparison of the two-phase framework
+// (2PH = coarse-recall + fine-selection, including the 0.5-epoch-per-proxy
+// inference cost) against brute force (BF) and successive halving (SH) on
+// the full zoo. The paper reports 2PH at ~5.5-10.5x over BF and ~2.5-4x
+// over SH with accuracy within a point of BF.
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "core/baselines.h"
+#include "core/two_phase.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace tps {
+namespace bench {
+namespace {
+
+void Report(TaskDomain domain, const char* title) {
+  World world = ExitIfError(BuildWorld(domain), "build world");
+  const Hyperparams hp = world.DefaultHp();
+
+  TwoPhaseSelector two_phase(world.zoo.get(), world.matrix.get(),
+                             world.clustering.get(), world.simulator.get());
+  SuccessiveHalvingSelector sh(world.zoo.get(), world.simulator.get());
+  BruteForceSelector bf(world.zoo.get(), world.simulator.get());
+
+  std::vector<size_t> all_models(world.zoo->size());
+  for (size_t i = 0; i < all_models.size(); ++i) all_models[i] = i;
+
+  std::cout << "=== Table VI: end-to-end (" << title << ", zoo size "
+            << world.zoo->size() << ") ===\n";
+  TablePrinter table({"target", "2PH epochs", "vs BF", "vs SH", "acc BF",
+                      "acc SH", "acc 2PH"});
+
+  for (const Dataset* target : world.Targets()) {
+    TwoPhaseReport report = ExitIfError(
+        two_phase.Select(*target, TwoPhaseOptions(), hp),
+        "two-phase " + target->name());
+    EpochBudget bf_budget;
+    const SelectionOutcome bf_out = ExitIfError(
+        bf.Select(all_models, *target, hp, &bf_budget),
+        "bf " + target->name());
+    EpochBudget sh_budget;
+    const SelectionOutcome sh_out = ExitIfError(
+        sh.Select(all_models, *target, hp, &sh_budget),
+        "sh " + target->name());
+
+    const double t2 = report.budget.total_epochs();
+    table.AddRow({target->name(), strings::FormatDouble(t2, 1),
+                  strings::Format("%.2fx", bf_budget.total_epochs() / t2),
+                  strings::Format("%.2fx", sh_budget.total_epochs() / t2),
+                  strings::FormatDouble(bf_out.selected_accuracy, 3),
+                  strings::FormatDouble(sh_out.selected_accuracy, 3),
+                  strings::FormatDouble(report.selection.selected_accuracy,
+                                        3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tps
+
+int main() {
+  tps::bench::Report(tps::TaskDomain::kNLP, "NLP");
+  tps::bench::Report(tps::TaskDomain::kCV, "CV");
+  return 0;
+}

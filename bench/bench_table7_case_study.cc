@@ -1,0 +1,53 @@
+// Reproduces Table VII: for each target, the true best model, its accuracy,
+// its rank in the coarse-recall ordering, and the mean true accuracy of the
+// 10 recalled models. The paper's best models rank 0-9 at coarse-recall and
+// always beat the recalled-set average.
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "core/coarse_recall.h"
+#include "core/evaluation.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace tps {
+namespace bench {
+namespace {
+
+void Report(TaskDomain domain, const char* title) {
+  World world = ExitIfError(BuildWorld(domain), "build world");
+  CoarseRecall recall(world.zoo.get(), world.matrix.get(),
+                      world.clustering.get());
+
+  std::cout << "=== Table VII: case study (" << title << ") ===\n";
+  TablePrinter table(
+      {"target", "best model", "acc", "rank@CR", "avg acc of recalled 10"});
+  for (const Dataset* target : world.Targets()) {
+    RecallResult rr = ExitIfError(
+        recall.Recall(*target, RecallOptions(), nullptr),
+        "recall " + target->name());
+    const std::vector<double> truth = ExitIfError(
+        TrueFinalAccuracies(*world.zoo, *target, *world.simulator,
+                            world.DefaultHp()),
+        "truth " + target->name());
+    const size_t best = BestModel(truth);
+    table.AddRow({target->name(), world.zoo->model(best).name(),
+                  strings::FormatDouble(truth[best], 3),
+                  std::to_string(rr.RankOf(best)),
+                  strings::FormatDouble(MeanAt(truth, rr.TopModels(10)),
+                                        3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tps
+
+int main() {
+  tps::bench::Report(tps::TaskDomain::kNLP, "NLP");
+  tps::bench::Report(tps::TaskDomain::kCV, "CV");
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "bench/curve_report.h"
+
+#include <iostream>
+
+#include "core/coarse_recall.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace tps {
+namespace bench {
+
+void PrintTopModelCurves(const char* target_name, double learning_rate) {
+  World world = ExitIfError(BuildWorld(TaskDomain::kNLP), "build world");
+  const Dataset* target =
+      ExitIfError(world.registry->Find(target_name), "find target");
+
+  CoarseRecall recall(world.zoo.get(), world.matrix.get(),
+                      world.clustering.get());
+  RecallResult rr = ExitIfError(
+      recall.Recall(*target, RecallOptions(), nullptr), "recall");
+  const std::vector<size_t> top10 = rr.TopModels(10);
+
+  Hyperparams hp = world.DefaultHp();
+  hp.learning_rate = learning_rate;
+
+  std::cout << "Top-10 recalled models on " << target_name
+            << ", learning rate " << strings::Format("%g", learning_rate)
+            << " (" << hp.epochs << " epochs)\n";
+  std::vector<std::string> header = {"model", "final test"};
+  for (int e = 1; e <= hp.epochs; ++e) {
+    header.push_back("val@" + std::to_string(e));
+  }
+  TablePrinter table(header);
+
+  std::vector<double> first_epoch_val;
+  std::vector<double> final_test;
+  for (size_t index : top10) {
+    const TrainingRun run = ExitIfError(
+        world.simulator->Run(world.zoo->model(index), *target, hp), "run");
+    std::vector<std::string> row = {
+        world.zoo->model(index).name(),
+        strings::FormatDouble(run.final_test(), 3)};
+    for (double v : run.val_accuracy) {
+      row.push_back(strings::FormatDouble(v, 3));
+    }
+    table.AddRow(row);
+    first_epoch_val.push_back(run.val_accuracy.front());
+    final_test.push_back(run.final_test());
+  }
+  table.Print(std::cout);
+  std::cout << "Spearman(val@1, final test) = "
+            << strings::FormatDouble(
+                   stats::SpearmanCorrelation(first_epoch_val, final_test),
+                   3)
+            << "  (early validation predicts final outcome)\n\n";
+}
+
+}  // namespace bench
+}  // namespace tps

@@ -1,0 +1,19 @@
+#ifndef TPS_BENCH_CURVE_REPORT_H_
+#define TPS_BENCH_CURVE_REPORT_H_
+
+#include "bench/harness.h"
+#include "sim/hyperparams.h"
+
+namespace tps {
+namespace bench {
+
+/// Shared by the Fig. 3 / Fig. 8 harnesses: prints the per-epoch validation
+/// and test curves of the top-10 coarse-recalled models on one NLP target
+/// at the given learning rate, plus the val/test rank agreement the paper's
+/// early-stopping argument rests on.
+void PrintTopModelCurves(const char* target_name, double learning_rate);
+
+}  // namespace bench
+}  // namespace tps
+
+#endif  // TPS_BENCH_CURVE_REPORT_H_

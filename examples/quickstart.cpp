@@ -1,0 +1,100 @@
+// Quickstart: select a pre-trained model for the MNLI target task with the
+// two-phase framework, and compare against brute force and successive
+// halving.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/baselines.h"
+#include "core/evaluation.h"
+#include "core/model_clusterer.h"
+#include "core/performance_matrix.h"
+#include "core/two_phase.h"
+#include "data/registry.h"
+#include "model/paper_zoo.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace tps;
+
+  // 1. Materialize the paper's dataset inventory and NLP model zoo.
+  auto registry_or = DatasetRegistry::CreatePaperInventory();
+  TPS_CHECK_OK(registry_or.status());
+  const DatasetRegistry& registry = *registry_or;
+  auto zoo_or = ModelZoo::Create(NlpPaperZooSpecs());
+  TPS_CHECK_OK(zoo_or.status());
+  const ModelZoo& zoo = *zoo_or;
+  std::cout << "Zoo: " << zoo.size() << " NLP models; registry: "
+            << registry.size() << " datasets\n";
+
+  // 2. Offline: build the performance matrix on the 24 NLP benchmarks and
+  //    cluster the models (Eq. 1 similarity, hierarchical clustering).
+  FineTuneSimulator simulator;
+  const auto benchmarks = registry.Benchmarks(TaskDomain::kNLP);
+  auto matrix_or = PerformanceMatrix::Build(
+      zoo, benchmarks, simulator, Hyperparams::DefaultsFor(TaskDomain::kNLP));
+  TPS_CHECK_OK(matrix_or.status());
+  const PerformanceMatrix& matrix = *matrix_or;
+
+  ModelClusteringOptions cluster_options;
+  auto clustering_or = ClusterModels(matrix, zoo, cluster_options);
+  TPS_CHECK_OK(clustering_or.status());
+  const ModelClustering& clustering = *clustering_or;
+  std::cout << "Clusters: " << clustering.clusters.num_clusters << " total, "
+            << clustering.NonSingletonClusters().size()
+            << " non-singleton\n\n";
+  std::cout << FormatClusters(clustering, zoo, /*include_singletons=*/false)
+            << "\n";
+
+  // 3. Online: two-phase selection for the MNLI target.
+  auto target_or = registry.Find("mnli");
+  TPS_CHECK_OK(target_or.status());
+  const Dataset& target = **target_or;
+
+  TwoPhaseSelector selector(&zoo, &matrix, &clustering, &simulator);
+  TwoPhaseOptions options;
+  auto report_or = selector.Select(target, options);
+  TPS_CHECK_OK(report_or.status());
+  const TwoPhaseReport& report = *report_or;
+
+  std::cout << "Two-phase pick: "
+            << zoo.model(report.selection.selected_model).name()
+            << "  acc=" << report.selection.selected_accuracy
+            << "  cost=" << report.budget.total_epochs() << " epochs ("
+            << report.budget.training_epochs() << " train + "
+            << report.budget.inference_epochs() << " proxy)\n";
+
+  // 4. Baselines on the full zoo for comparison.
+  std::vector<size_t> all(zoo.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const Hyperparams hp = Hyperparams::DefaultsFor(TaskDomain::kNLP);
+
+  BruteForceSelector brute(&zoo, &simulator);
+  EpochBudget bf_budget;
+  auto bf_or = brute.Select(all, target, hp, &bf_budget);
+  TPS_CHECK_OK(bf_or.status());
+  std::cout << "Brute force pick: " << zoo.model(bf_or->selected_model).name()
+            << "  acc=" << bf_or->selected_accuracy
+            << "  cost=" << bf_budget.total_epochs() << " epochs\n";
+
+  SuccessiveHalvingSelector halving(&zoo, &simulator);
+  EpochBudget sh_budget;
+  auto sh_or = halving.Select(all, target, hp, &sh_budget);
+  TPS_CHECK_OK(sh_or.status());
+  std::cout << "Succ. halving pick: "
+            << zoo.model(sh_or->selected_model).name()
+            << "  acc=" << sh_or->selected_accuracy
+            << "  cost=" << sh_budget.total_epochs() << " epochs\n";
+
+  const double speedup_bf =
+      bf_budget.total_epochs() / report.budget.total_epochs();
+  const double speedup_sh =
+      sh_budget.total_epochs() / report.budget.total_epochs();
+  std::printf("\nSpeedup: %.2fx vs brute force, %.2fx vs halving\n",
+              speedup_bf, speedup_sh);
+  return 0;
+}

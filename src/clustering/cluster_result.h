@@ -1,0 +1,47 @@
+#ifndef TPS_CLUSTERING_CLUSTER_RESULT_H_
+#define TPS_CLUSTERING_CLUSTER_RESULT_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tps {
+
+/// A flat clustering of n items into labelled clusters 0..num_clusters-1.
+struct ClusteringResult {
+  /// assignments[i] is item i's cluster id, in [0, num_clusters).
+  std::vector<int> assignments;
+  int num_clusters = 0;
+
+  size_t num_items() const { return assignments.size(); }
+
+  /// Item indices belonging to cluster `c`, in item order.
+  std::vector<size_t> Members(int c) const {
+    std::vector<size_t> members;
+    for (size_t i = 0; i < assignments.size(); ++i) {
+      if (assignments[i] == c) members.push_back(i);
+    }
+    return members;
+  }
+
+  /// Per-cluster sizes, indexed by cluster id.
+  std::vector<size_t> Sizes() const {
+    std::vector<size_t> sizes(static_cast<size_t>(num_clusters), 0);
+    for (int a : assignments) {
+      if (a >= 0 && a < num_clusters) ++sizes[static_cast<size_t>(a)];
+    }
+    return sizes;
+  }
+
+  /// Number of clusters with exactly one member.
+  size_t NumSingletons() const {
+    size_t singletons = 0;
+    for (size_t s : Sizes()) {
+      if (s == 1) ++singletons;
+    }
+    return singletons;
+  }
+};
+
+}  // namespace tps
+
+#endif  // TPS_CLUSTERING_CLUSTER_RESULT_H_

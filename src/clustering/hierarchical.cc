@@ -1,0 +1,132 @@
+#include "clustering/hierarchical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tps {
+
+namespace {
+
+/// Lance-Williams linkage update when clusters a (size na) and b (size nb)
+/// merge: distance from the merged cluster to cluster c.
+double MergedDistance(Linkage linkage, double dac, double dbc, size_t na,
+                      size_t nb) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return std::min(dac, dbc);
+    case Linkage::kComplete:
+      return std::max(dac, dbc);
+    case Linkage::kAverage: {
+      const double wa = static_cast<double>(na);
+      const double wb = static_cast<double>(nb);
+      return (wa * dac + wb * dbc) / (wa + wb);
+    }
+  }
+  return dac;
+}
+
+}  // namespace
+
+StatusOr<HierarchicalResult> HierarchicalCluster(
+    const Matrix& distances, const HierarchicalOptions& options) {
+  const size_t n = distances.rows();
+  if (n == 0 || distances.cols() != n) {
+    return Status::InvalidArgument(
+        "HierarchicalCluster needs a non-empty square distance matrix");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (std::fabs(distances.At(i, j) - distances.At(j, i)) > 1e-9) {
+        return Status::InvalidArgument(
+            "HierarchicalCluster needs a symmetric distance matrix");
+      }
+    }
+  }
+  if (options.num_clusters > static_cast<int>(n)) {
+    return Status::InvalidArgument(
+        "num_clusters exceeds the number of items");
+  }
+  if (options.num_clusters <= 0 && options.distance_threshold <= 0.0) {
+    return Status::InvalidArgument(
+        "set num_clusters > 0 or distance_threshold > 0");
+  }
+
+  // Active-cluster bookkeeping. `group[i]` is item i's current flat group;
+  // `dendro_id` tracks the dendrogram numbering for merge records.
+  Matrix d = distances;
+  std::vector<bool> active(n, true);
+  std::vector<size_t> sizes(n, 1);
+  std::vector<int> group(n);
+  std::vector<int> dendro_id(n);
+  for (size_t i = 0; i < n; ++i) {
+    group[i] = static_cast<int>(i);
+    dendro_id[i] = static_cast<int>(i);
+  }
+
+  HierarchicalResult result;
+  size_t num_active = n;
+  const size_t target =
+      options.num_clusters > 0 ? static_cast<size_t>(options.num_clusters)
+                               : 1;
+
+  int next_dendro = static_cast<int>(n);
+  while (num_active > target) {
+    // Find the closest active pair.
+    size_t best_a = 0, best_b = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t a = 0; a < n; ++a) {
+      if (!active[a]) continue;
+      for (size_t b = a + 1; b < n; ++b) {
+        if (!active[b]) continue;
+        if (d.At(a, b) < best_d) {
+          best_d = d.At(a, b);
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (options.num_clusters <= 0 && best_d > options.distance_threshold) {
+      break;  // Threshold stopping rule.
+    }
+
+    // Record the merge in dendrogram numbering.
+    result.merges.push_back(
+        MergeStep{dendro_id[best_a], dendro_id[best_b], best_d});
+    dendro_id[best_a] = next_dendro++;
+
+    // Fold best_b into best_a.
+    for (size_t c = 0; c < n; ++c) {
+      if (!active[c] || c == best_a || c == best_b) continue;
+      const double merged = MergedDistance(options.linkage, d.At(best_a, c),
+                                           d.At(best_b, c), sizes[best_a],
+                                           sizes[best_b]);
+      d.At(best_a, c) = merged;
+      d.At(c, best_a) = merged;
+    }
+    sizes[best_a] += sizes[best_b];
+    active[best_b] = false;
+    const int from = group[best_b];
+    const int to = group[best_a];
+    for (size_t i = 0; i < n; ++i) {
+      if (group[i] == from) group[i] = to;
+    }
+    --num_active;
+  }
+
+  // Compact group labels to 0..num_active-1 in first-appearance order.
+  std::vector<int> remap(n, -1);
+  int next_label = 0;
+  result.clustering.assignments.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int g = group[i];
+    if (remap[static_cast<size_t>(g)] < 0) {
+      remap[static_cast<size_t>(g)] = next_label++;
+    }
+    result.clustering.assignments[i] = remap[static_cast<size_t>(g)];
+  }
+  result.clustering.num_clusters = next_label;
+  return result;
+}
+
+}  // namespace tps

@@ -1,0 +1,55 @@
+#ifndef TPS_CLUSTERING_HIERARCHICAL_H_
+#define TPS_CLUSTERING_HIERARCHICAL_H_
+
+#include <vector>
+
+#include "clustering/cluster_result.h"
+#include "matrix/matrix.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+enum class Linkage {
+  kSingle,
+  kComplete,
+  /// Unweighted average linkage (UPGMA) — the configuration used for the
+  /// paper's Table II clustering.
+  kAverage,
+};
+
+struct HierarchicalOptions {
+  Linkage linkage = Linkage::kAverage;
+  /// Stop merging when this many clusters remain. <= 0 means "ignore"; then
+  /// distance_threshold governs.
+  int num_clusters = 0;
+  /// Stop merging when the next merge's linkage distance would exceed this.
+  /// Ignored (merge to num_clusters) when num_clusters > 0.
+  double distance_threshold = 0.0;
+};
+
+/// One agglomeration step of the dendrogram.
+struct MergeStep {
+  /// Cluster ids merged (dendrogram numbering: leaves are 0..n-1, the i-th
+  /// merge creates cluster n+i).
+  int left = 0;
+  int right = 0;
+  /// Linkage distance at which the merge happened.
+  double distance = 0.0;
+};
+
+struct HierarchicalResult {
+  ClusteringResult clustering;
+  /// The full merge history up to (but excluding) the first merge that the
+  /// stopping rule rejected.
+  std::vector<MergeStep> merges;
+};
+
+/// Agglomerative clustering over a precomputed symmetric distance matrix
+/// (Lance-Williams updates). Fails if the matrix is not square/symmetric
+/// or the options are inconsistent.
+StatusOr<HierarchicalResult> HierarchicalCluster(
+    const Matrix& distances, const HierarchicalOptions& options);
+
+}  // namespace tps
+
+#endif  // TPS_CLUSTERING_HIERARCHICAL_H_

@@ -1,0 +1,154 @@
+#include "clustering/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace tps {
+
+namespace {
+
+double SquaredDistance(const Matrix& points, size_t row,
+                       const Matrix& centroids, size_t centroid) {
+  double d2 = 0.0;
+  for (size_t c = 0; c < points.cols(); ++c) {
+    const double diff = points.At(row, c) - centroids.At(centroid, c);
+    d2 += diff * diff;
+  }
+  return d2;
+}
+
+/// k-means++ seeding: first centroid uniform, subsequent ones with
+/// probability proportional to squared distance from the nearest chosen
+/// centroid.
+Matrix SeedCentroids(const Matrix& points, int k, Rng& rng) {
+  const size_t n = points.rows();
+  Matrix centroids(static_cast<size_t>(k), points.cols());
+  std::vector<double> min_d2(n, std::numeric_limits<double>::infinity());
+
+  size_t first = static_cast<size_t>(rng.UniformInt(n));
+  centroids.SetRow(0, points.Row(first));
+  for (int c = 1; c < k; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      const double d2 =
+          SquaredDistance(points, i, centroids, static_cast<size_t>(c - 1));
+      if (d2 < min_d2[i]) min_d2[i] = d2;
+    }
+    const size_t chosen = rng.Categorical(min_d2);
+    centroids.SetRow(static_cast<size_t>(c), points.Row(chosen));
+  }
+  return centroids;
+}
+
+KMeansResult RunOnce(const Matrix& points, const KMeansOptions& options,
+                     Rng& rng) {
+  const size_t n = points.rows();
+  const size_t k = static_cast<size_t>(options.num_clusters);
+  Matrix centroids = SeedCentroids(points, options.num_clusters, rng);
+
+  KMeansResult result;
+  result.clustering.assignments.assign(n, 0);
+  result.clustering.num_clusters = options.num_clusters;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = 0;
+      double best_d2 = SquaredDistance(points, i, centroids, 0);
+      for (size_t c = 1; c < k; ++c) {
+        const double d2 = SquaredDistance(points, i, centroids, c);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = c;
+        }
+      }
+      if (result.clustering.assignments[i] != static_cast<int>(best)) {
+        result.clustering.assignments[i] = static_cast<int>(best);
+        changed = true;
+      }
+    }
+    // Update step.
+    Matrix sums(k, points.cols(), 0.0);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c =
+          static_cast<size_t>(result.clustering.assignments[i]);
+      ++counts[c];
+      for (size_t d = 0; d < points.cols(); ++d) {
+        sums.At(c, d) += points.At(i, d);
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster with the point farthest from its
+        // current centroid.
+        size_t farthest = 0;
+        double farthest_d2 = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+          const size_t a =
+              static_cast<size_t>(result.clustering.assignments[i]);
+          const double d2 = SquaredDistance(points, i, centroids, a);
+          if (d2 > farthest_d2) {
+            farthest_d2 = d2;
+            farthest = i;
+          }
+        }
+        centroids.SetRow(c, points.Row(farthest));
+        result.clustering.assignments[farthest] = static_cast<int>(c);
+        changed = true;
+        continue;
+      }
+      for (size_t d = 0; d < points.cols(); ++d) {
+        centroids.At(c, d) = sums.At(c, d) / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed) break;
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    result.inertia += SquaredDistance(
+        points, i, centroids,
+        static_cast<size_t>(result.clustering.assignments[i]));
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace
+
+StatusOr<KMeansResult> KMeans(const Matrix& points,
+                              const KMeansOptions& options) {
+  if (options.num_clusters < 1) {
+    return Status::InvalidArgument("KMeans needs num_clusters >= 1");
+  }
+  if (points.rows() < static_cast<size_t>(options.num_clusters)) {
+    return Status::InvalidArgument("KMeans needs at least k points");
+  }
+  if (options.max_iterations < 1 || options.restarts < 1) {
+    return Status::InvalidArgument(
+        "KMeans needs positive max_iterations and restarts");
+  }
+
+  Rng rng(options.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < options.restarts; ++r) {
+    Rng run_rng = rng.Fork();
+    KMeansResult candidate = RunOnce(points, options, run_rng);
+    if (candidate.inertia < best.inertia) best = std::move(candidate);
+  }
+  return best;
+}
+
+StatusOr<KMeansResult> KMeans1D(const std::vector<double>& values,
+                                const KMeansOptions& options) {
+  Matrix points(values.size(), 1);
+  for (size_t i = 0; i < values.size(); ++i) points.At(i, 0) = values[i];
+  return KMeans(points, options);
+}
+
+}  // namespace tps

@@ -1,0 +1,43 @@
+#ifndef TPS_CLUSTERING_KMEANS_H_
+#define TPS_CLUSTERING_KMEANS_H_
+
+#include <cstdint>
+
+#include "clustering/cluster_result.h"
+#include "matrix/matrix.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+struct KMeansOptions {
+  int num_clusters = 8;
+  int max_iterations = 100;
+  /// Independent k-means++ restarts; the lowest-inertia run wins.
+  int restarts = 8;
+  uint64_t seed = 42;
+};
+
+struct KMeansResult {
+  ClusteringResult clustering;
+  /// Final cluster centroids (num_clusters x dims).
+  Matrix centroids;
+  /// Sum of squared distances of points to their centroid.
+  double inertia = 0.0;
+  int iterations = 0;
+};
+
+/// Lloyd's k-means with k-means++ seeding and multiple restarts over the
+/// rows of `points`. Empty clusters are re-seeded with the point farthest
+/// from its centroid. Fails if there are fewer points than clusters or
+/// options are invalid.
+StatusOr<KMeansResult> KMeans(const Matrix& points,
+                              const KMeansOptions& options);
+
+/// One-dimensional convenience overload (used by convergence-trend mining,
+/// which clusters scalar validation accuracies).
+StatusOr<KMeansResult> KMeans1D(const std::vector<double>& values,
+                                const KMeansOptions& options);
+
+}  // namespace tps
+
+#endif  // TPS_CLUSTERING_KMEANS_H_

@@ -1,0 +1,24 @@
+#ifndef TPS_CLUSTERING_RAND_INDEX_H_
+#define TPS_CLUSTERING_RAND_INDEX_H_
+
+#include "clustering/cluster_result.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+/// Rand index between two clusterings of the same items: the fraction of
+/// item pairs on which the clusterings agree (both together or both apart).
+/// In [0, 1]; 1 means identical partitions. Fails on size mismatch or
+/// fewer than 2 items.
+StatusOr<double> RandIndex(const ClusteringResult& a,
+                           const ClusteringResult& b);
+
+/// Adjusted Rand index (Hubert & Arabie): Rand index corrected for chance
+/// agreement. 1 for identical partitions, ~0 for independent ones; can be
+/// negative. Fails on size mismatch or fewer than 2 items.
+StatusOr<double> AdjustedRandIndex(const ClusteringResult& a,
+                                   const ClusteringResult& b);
+
+}  // namespace tps
+
+#endif  // TPS_CLUSTERING_RAND_INDEX_H_

@@ -1,0 +1,24 @@
+#ifndef TPS_CLUSTERING_SILHOUETTE_H_
+#define TPS_CLUSTERING_SILHOUETTE_H_
+
+#include "clustering/cluster_result.h"
+#include "matrix/matrix.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+/// Mean silhouette coefficient (Rousseeuw 1987) of a clustering over a
+/// precomputed symmetric distance matrix — the clustering-quality metric of
+/// the paper's Table I and Fig. 6.
+///
+/// For item i: a(i) = mean distance to its own cluster's other members,
+/// b(i) = min over other clusters of the mean distance to that cluster,
+/// s(i) = (b - a) / max(a, b). Members of singleton clusters contribute
+/// s(i) = 0 (scikit-learn convention). Fails if the matrix is not square,
+/// sizes mismatch, or fewer than 2 clusters are populated.
+StatusOr<double> SilhouetteScore(const Matrix& distances,
+                                 const ClusteringResult& clustering);
+
+}  // namespace tps
+
+#endif  // TPS_CLUSTERING_SILHOUETTE_H_

@@ -1,0 +1,126 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace tps {
+
+namespace {
+
+/// Materializes the deterministic full training curve of each candidate.
+/// Selection strategies *read prefixes* of these curves and charge the
+/// budget for exactly the epochs they consumed — equivalent to actually
+/// pausing/resuming training, since the simulator is deterministic.
+StatusOr<std::vector<TrainingRun>> RunAll(
+    const ModelZoo& zoo, const FineTuneSimulator& simulator,
+    const std::vector<size_t>& candidates, const Dataset& target,
+    const Hyperparams& hp) {
+  std::vector<TrainingRun> runs;
+  runs.reserve(candidates.size());
+  for (size_t index : candidates) {
+    if (index >= zoo.size()) {
+      return Status::OutOfRange("candidate index out of range");
+    }
+    TPS_ASSIGN_OR_RETURN(TrainingRun run,
+                         simulator.Run(zoo.model(index), target, hp));
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+}  // namespace
+
+BruteForceSelector::BruteForceSelector(const ModelZoo* zoo,
+                                       const FineTuneSimulator* simulator)
+    : zoo_(zoo), simulator_(simulator) {
+  TPS_CHECK(zoo_ != nullptr);
+  TPS_CHECK(simulator_ != nullptr);
+}
+
+StatusOr<SelectionOutcome> BruteForceSelector::Select(
+    const std::vector<size_t>& candidates, const Dataset& target,
+    const Hyperparams& hp, EpochBudget* budget) const {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("brute force needs >= 1 candidate");
+  }
+  TPS_ASSIGN_OR_RETURN(std::vector<TrainingRun> runs,
+                       RunAll(*zoo_, *simulator_, candidates, target, hp));
+
+  SelectionOutcome outcome;
+  outcome.training_epochs =
+      static_cast<double>(candidates.size()) * hp.epochs;
+  if (budget != nullptr) budget->ChargeTraining(outcome.training_epochs);
+  outcome.survivors_per_stage.assign(static_cast<size_t>(hp.epochs),
+                                     candidates.size());
+
+  size_t best = 0;
+  double best_val = runs[0].val_accuracy.back();
+  for (size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].val_accuracy.back() > best_val) {
+      best_val = runs[i].val_accuracy.back();
+      best = i;
+    }
+  }
+  outcome.selected_model = candidates[best];
+  outcome.selected_accuracy = runs[best].final_test();
+  return outcome;
+}
+
+SuccessiveHalvingSelector::SuccessiveHalvingSelector(
+    const ModelZoo* zoo, const FineTuneSimulator* simulator,
+    SuccessiveHalvingOptions options)
+    : zoo_(zoo), simulator_(simulator), options_(options) {
+  TPS_CHECK(zoo_ != nullptr);
+  TPS_CHECK(simulator_ != nullptr);
+  TPS_CHECK(options_.eta >= 2);
+}
+
+StatusOr<SelectionOutcome> SuccessiveHalvingSelector::Select(
+    const std::vector<size_t>& candidates, const Dataset& target,
+    const Hyperparams& hp, EpochBudget* budget) const {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("successive halving needs >= 1 candidate");
+  }
+  TPS_ASSIGN_OR_RETURN(std::vector<TrainingRun> runs,
+                       RunAll(*zoo_, *simulator_, candidates, target, hp));
+
+  SelectionOutcome outcome;
+  // `remaining` holds positions into `candidates`/`runs`.
+  std::vector<size_t> remaining(candidates.size());
+  for (size_t i = 0; i < remaining.size(); ++i) remaining[i] = i;
+
+  for (int stage = 0; stage < hp.epochs; ++stage) {
+    outcome.survivors_per_stage.push_back(remaining.size());
+    outcome.training_epochs += static_cast<double>(remaining.size());
+    if (budget != nullptr) {
+      budget->ChargeTraining(static_cast<double>(remaining.size()));
+    }
+    if (remaining.size() <= 1) continue;
+    // Keep the floor(n/eta) best by this stage's validation accuracy.
+    const size_t keep = std::max<size_t>(
+        1, remaining.size() / static_cast<size_t>(options_.eta));
+    std::stable_sort(remaining.begin(), remaining.end(),
+                     [&](size_t a, size_t b) {
+                       return runs[a].val_accuracy[static_cast<size_t>(
+                                  stage)] >
+                              runs[b].val_accuracy[static_cast<size_t>(
+                                  stage)];
+                     });
+    remaining.resize(keep);
+  }
+
+  // Winner: best final validation among survivors.
+  size_t best = remaining[0];
+  for (size_t pos : remaining) {
+    if (runs[pos].val_accuracy.back() > runs[best].val_accuracy.back()) {
+      best = pos;
+    }
+  }
+  outcome.selected_model = candidates[best];
+  outcome.selected_accuracy = runs[best].final_test();
+  return outcome;
+}
+
+}  // namespace tps

@@ -1,0 +1,71 @@
+#ifndef TPS_CORE_BASELINES_H_
+#define TPS_CORE_BASELINES_H_
+
+#include <vector>
+
+#include "core/selection.h"
+#include "data/dataset.h"
+#include "model/zoo.h"
+#include "sim/epoch_budget.h"
+#include "sim/finetune_simulator.h"
+#include "sim/hyperparams.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+/// Brute-force search (BF in the paper): fine-tune every candidate for the
+/// full epoch budget and keep the best final validation accuracy. The
+/// accuracy ceiling every other strategy is compared against; cost is
+/// |candidates| * epochs.
+class BruteForceSelector {
+ public:
+  /// Pointers must outlive this object.
+  BruteForceSelector(const ModelZoo* zoo, const FineTuneSimulator* simulator);
+
+  /// Runs the selection over `candidates` (zoo indices). Charges training
+  /// epochs to `budget` (may be null). Fails on an empty candidate list or
+  /// domain mismatches.
+  StatusOr<SelectionOutcome> Select(const std::vector<size_t>& candidates,
+                                    const Dataset& target,
+                                    const Hyperparams& hp,
+                                    EpochBudget* budget) const;
+
+ private:
+  const ModelZoo* zoo_;
+  const FineTuneSimulator* simulator_;
+};
+
+struct SuccessiveHalvingOptions {
+  /// Pool-reduction factor per stage: keep floor(n / eta) survivors. The
+  /// paper (and classic SH) uses eta = 2; larger values are cheaper and
+  /// riskier (an ablation axis).
+  int eta = 2;
+};
+
+/// Successive halving (SH, Jamieson & Talwalkar 2016, as used by Palette):
+/// every surviving candidate trains one epoch per stage, then the pool is
+/// cut to the floor(n/eta) best by validation accuracy (never below 1),
+/// until the epoch budget is exhausted; the survivor with the best final
+/// validation wins.
+class SuccessiveHalvingSelector {
+ public:
+  SuccessiveHalvingSelector(
+      const ModelZoo* zoo, const FineTuneSimulator* simulator,
+      SuccessiveHalvingOptions options = SuccessiveHalvingOptions());
+
+  StatusOr<SelectionOutcome> Select(const std::vector<size_t>& candidates,
+                                    const Dataset& target,
+                                    const Hyperparams& hp,
+                                    EpochBudget* budget) const;
+
+  const SuccessiveHalvingOptions& options() const { return options_; }
+
+ private:
+  const ModelZoo* zoo_;
+  const FineTuneSimulator* simulator_;
+  SuccessiveHalvingOptions options_;
+};
+
+}  // namespace tps
+
+#endif  // TPS_CORE_BASELINES_H_

@@ -1,0 +1,41 @@
+#ifndef TPS_CORE_BENCHMARK_SELECTION_H_
+#define TPS_CORE_BENCHMARK_SELECTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/performance_matrix.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+/// Result of compact-benchmark selection.
+struct BenchmarkSelectionResult {
+  /// Indices (into the performance matrix's dataset axis) of the selected
+  /// benchmark subset, in selection order.
+  std::vector<size_t> selected;
+  /// Pearson correlation between pairwise model distances computed on the
+  /// subset and on the full benchmark suite (the objective value reached).
+  double distance_correlation = 0.0;
+};
+
+/// Data-driven benchmark compaction (the paper's second future-work item:
+/// "make benchmark datasets more compact to maintain the performance
+/// matrix more cheaply").
+///
+/// Greedy forward selection: starting empty, repeatedly add the benchmark
+/// dataset that maximizes the Pearson correlation between the model
+/// pairwise-distance structure (Eq. 1 top-k distance) computed on the
+/// subset and the structure computed on all benchmarks. A subset that
+/// preserves this structure preserves the model clustering — and hence the
+/// coarse-recall behaviour — at a fraction of the offline fine-tuning
+/// cost.
+///
+/// `subset_size` must be in [1, num_datasets]; `top_k` is the Eq. 1
+/// parameter (clamped per subset size).
+StatusOr<BenchmarkSelectionResult> SelectCompactBenchmarks(
+    const PerformanceMatrix& matrix, size_t subset_size, size_t top_k = 5);
+
+}  // namespace tps
+
+#endif  // TPS_CORE_BENCHMARK_SELECTION_H_

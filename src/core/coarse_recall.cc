@@ -1,0 +1,161 @@
+#include "core/coarse_recall.h"
+
+#include <algorithm>
+
+#include "clustering/distance.h"
+#include "util/logging.h"
+
+namespace tps {
+
+std::vector<size_t> RecallResult::TopModels(size_t k) const {
+  std::vector<size_t> top;
+  top.reserve(std::min(k, ranked.size()));
+  for (size_t i = 0; i < ranked.size() && i < k; ++i) {
+    top.push_back(ranked[i].model_index);
+  }
+  return top;
+}
+
+size_t RecallResult::RankOf(size_t model_index) const {
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].model_index == model_index) return i;
+  }
+  return ranked.size();
+}
+
+CoarseRecall::CoarseRecall(const ModelZoo* zoo,
+                           const PerformanceMatrix* matrix,
+                           const ModelClustering* clustering)
+    : zoo_(zoo), matrix_(matrix), clustering_(clustering) {
+  TPS_CHECK(zoo_ != nullptr);
+  TPS_CHECK(matrix_ != nullptr);
+  TPS_CHECK(clustering_ != nullptr);
+}
+
+StatusOr<RecallResult> CoarseRecall::Recall(const Dataset& target,
+                                            const RecallOptions& options,
+                                            EpochBudget* budget) const {
+  const size_t n = zoo_->size();
+  if (n == 0) return Status::FailedPrecondition("empty model zoo");
+  if (clustering_->clusters.assignments.size() != n) {
+    return Status::FailedPrecondition(
+        "clustering does not match the zoo size");
+  }
+  std::vector<std::unique_ptr<ProxyScorer>> scorers;
+  if (options.proxies.empty()) {
+    TPS_ASSIGN_OR_RETURN(std::unique_ptr<ProxyScorer> scorer,
+                         MakeProxyScorer(options.proxy));
+    scorers.push_back(std::move(scorer));
+  } else {
+    for (const std::string& name : options.proxies) {
+      TPS_ASSIGN_OR_RETURN(std::unique_ptr<ProxyScorer> scorer,
+                           MakeProxyScorer(name));
+      scorers.push_back(std::move(scorer));
+    }
+  }
+
+  RecallResult result;
+
+  // --- Step 1: compute raw proxy scores for the scored set. ---
+  // Default: representatives of non-singleton clusters only. Ablation:
+  // every model directly.
+  std::vector<size_t> scored_models;
+  if (options.use_cluster_representatives) {
+    for (int c : clustering_->NonSingletonClusters()) {
+      scored_models.push_back(
+          clustering_->representatives[static_cast<size_t>(c)]);
+    }
+    // Degenerate case (every cluster singleton): fall back to scoring all
+    // representatives so recall still works.
+    if (scored_models.empty()) {
+      for (size_t rep : clustering_->representatives) {
+        scored_models.push_back(rep);
+      }
+    }
+  } else {
+    for (size_t m = 0; m < n; ++m) scored_models.push_back(m);
+  }
+
+  // Each proxy's raw scores are min-max normalized across the scored set,
+  // then averaged (a single proxy degenerates to the paper's Eq. 2). All
+  // proxies share one forward pass, so inference is charged once per
+  // scored model.
+  std::vector<double> norm_scores(scored_models.size(), 0.0);
+  for (const std::unique_ptr<ProxyScorer>& scorer : scorers) {
+    std::vector<double> raw_scores(scored_models.size(), 0.0);
+    for (size_t i = 0; i < scored_models.size(); ++i) {
+      TPS_ASSIGN_OR_RETURN(
+          raw_scores[i],
+          scorer->Score(zoo_->model(scored_models[i]), target));
+    }
+    const std::vector<double> normalized = MinMaxNormalize(raw_scores);
+    for (size_t i = 0; i < norm_scores.size(); ++i) {
+      norm_scores[i] += normalized[i] / static_cast<double>(scorers.size());
+    }
+  }
+  for (size_t i = 0; i < scored_models.size(); ++i) {
+    if (budget != nullptr) budget->ChargeProxyInference();
+    ++result.proxies_computed;
+  }
+
+  // Index from scored model -> normalized proxy value.
+  std::vector<double> proxy_of_model(n, -1.0);
+  for (size_t i = 0; i < scored_models.size(); ++i) {
+    proxy_of_model[scored_models[i]] = norm_scores[i];
+  }
+  // Proxy by cluster id (for members inheriting their representative's
+  // score).
+  std::vector<double> proxy_of_cluster(
+      static_cast<size_t>(clustering_->clusters.num_clusters), -1.0);
+  for (int c = 0; c < clustering_->clusters.num_clusters; ++c) {
+    const size_t rep = clustering_->representatives[static_cast<size_t>(c)];
+    if (proxy_of_model[rep] >= 0.0) {
+      proxy_of_cluster[static_cast<size_t>(c)] = proxy_of_model[rep];
+    }
+  }
+
+  // --- Step 2: recall score per model (Eqs. 2-4). ---
+  result.ranked.reserve(n);
+  for (size_t m = 0; m < n; ++m) {
+    RecallEntry entry;
+    entry.model_index = m;
+    entry.prior_accuracy = matrix_->ModelAverageAccuracy(m);
+    const int cluster = clustering_->ClusterOf(m);
+    const double cluster_proxy =
+        proxy_of_cluster[static_cast<size_t>(cluster)];
+    if (cluster_proxy >= 0.0) {
+      // Eq. 3: member of a scored cluster inherits the representative's
+      // normalized proxy.
+      entry.proxy_component = cluster_proxy;
+    } else {
+      // Eq. 4: similarity-decayed propagation from the scored
+      // representatives.
+      entry.via_propagation = true;
+      const std::vector<double> my_vec = matrix_->ModelVector(m);
+      double accum = 0.0;
+      size_t count = 0;
+      for (size_t i = 0; i < scored_models.size(); ++i) {
+        const std::vector<double> rep_vec =
+            matrix_->ModelVector(scored_models[i]);
+        const double sim = PerformanceSimilarity(
+            my_vec, rep_vec, clustering_->options.top_k);
+        accum += sim * norm_scores[i];
+        ++count;
+      }
+      entry.proxy_component =
+          count == 0 ? 0.0 : accum / static_cast<double>(count);
+    }
+    entry.recall_score = options.use_accuracy_prior
+                             ? entry.prior_accuracy * entry.proxy_component
+                             : entry.proxy_component;
+    result.ranked.push_back(entry);
+  }
+
+  std::stable_sort(result.ranked.begin(), result.ranked.end(),
+                   [](const RecallEntry& a, const RecallEntry& b) {
+                     return a.recall_score > b.recall_score;
+                   });
+  return result;
+}
+
+}  // namespace tps

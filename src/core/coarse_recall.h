@@ -1,0 +1,92 @@
+#ifndef TPS_CORE_COARSE_RECALL_H_
+#define TPS_CORE_COARSE_RECALL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/model_clusterer.h"
+#include "core/performance_matrix.h"
+#include "data/dataset.h"
+#include "model/zoo.h"
+#include "sim/epoch_budget.h"
+#include "transfer/proxy_scorer.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+struct RecallOptions {
+  /// How many models to hand to the fine-selection phase (the paper uses
+  /// 10).
+  size_t top_k_models = 10;
+  /// Proxy scorer name ("leep", "nce", "logme", "knn").
+  std::string proxy = "leep";
+  /// Multi-proxy combination (the paper's first future-work item:
+  /// "combine different light-weight tasks to return a high quality subset
+  /// more robustly"). When non-empty, overrides `proxy`: each listed
+  /// scorer is computed and min-max normalized across the scored
+  /// representatives, and the per-model proxy component is their mean.
+  /// Inference cost is still 0.5 epochs per representative — all proxies
+  /// consume the same forward pass over the target dataset.
+  std::vector<std::string> proxies;
+  /// Ablation switch: when false, score every model directly instead of
+  /// only cluster representatives (O(|M|) proxies instead of O(|MC|)).
+  bool use_cluster_representatives = true;
+  /// Ablation switch: when false, drop the acc(m) prior from Eq. 2 and use
+  /// the proxy component alone.
+  bool use_accuracy_prior = true;
+};
+
+/// One scored model in the recall ranking.
+struct RecallEntry {
+  size_t model_index = 0;
+  /// Final recall score (Eq. 2 / 3 / 4).
+  double recall_score = 0.0;
+  /// acc(m): average benchmark accuracy prior.
+  double prior_accuracy = 0.0;
+  /// Normalized proxy component (direct for non-singleton members, Eq. 4
+  /// propagation for singleton members).
+  double proxy_component = 0.0;
+  /// True if the proxy component was propagated via Eq. 4 rather than
+  /// computed from the model's own cluster representative.
+  bool via_propagation = false;
+};
+
+struct RecallResult {
+  /// All models, sorted by descending recall score.
+  std::vector<RecallEntry> ranked;
+  /// Number of proxy scores actually computed (= scored representatives).
+  size_t proxies_computed = 0;
+
+  /// Zoo indices of the top `k` models (fewer if the zoo is smaller).
+  std::vector<size_t> TopModels(size_t k) const;
+  /// Rank position (0-based) of a model in the recall ordering; the zoo
+  /// size if absent.
+  size_t RankOf(size_t model_index) const;
+};
+
+/// Phase 1 of the framework: recalls the most promising K models by
+/// combining the benchmark-accuracy prior with a proxy score computed only
+/// for non-singleton cluster representatives (Eq. 3), propagated to
+/// singleton clusters by performance similarity (Eq. 4).
+class CoarseRecall {
+ public:
+  /// All pointers must outlive this object.
+  CoarseRecall(const ModelZoo* zoo, const PerformanceMatrix* matrix,
+               const ModelClustering* clustering);
+
+  /// Scores every model against `target` and ranks them. Charges 0.5
+  /// epoch-equivalents per computed proxy to `budget` (may be null).
+  StatusOr<RecallResult> Recall(const Dataset& target,
+                                const RecallOptions& options,
+                                EpochBudget* budget) const;
+
+ private:
+  const ModelZoo* zoo_;
+  const PerformanceMatrix* matrix_;
+  const ModelClustering* clustering_;
+};
+
+}  // namespace tps
+
+#endif  // TPS_CORE_COARSE_RECALL_H_

@@ -1,0 +1,64 @@
+#ifndef TPS_CORE_CONVERGENCE_TREND_H_
+#define TPS_CORE_CONVERGENCE_TREND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/performance_matrix.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+/// One convergence trend CT(m)_t[x] of a model: a cluster of benchmark
+/// datasets on which the model's training curve looks alike at stage t,
+/// summarized by the mean validation accuracy at that stage and the mean
+/// final test accuracy.
+struct ConvergenceTrend {
+  double mean_val = 0.0;
+  double mean_final_test = 0.0;
+  /// Benchmark dataset indices belonging to this trend.
+  std::vector<size_t> dataset_indices;
+};
+
+struct TrendMinerOptions {
+  /// Number of trend clusters c (the paper groups BERT-base's curves into
+  /// ~4 groups, Fig. 4).
+  int num_trends = 4;
+  uint64_t seed = 7;
+};
+
+/// Mines convergence trends from a model's benchmark training curves and
+/// predicts final performance from an observed validation accuracy
+/// (Section IV.C, Eqs. 5-6).
+class ConvergenceTrendMiner {
+ public:
+  /// `matrix` must outlive this object.
+  ConvergenceTrendMiner(const PerformanceMatrix* matrix,
+                        TrendMinerOptions options = TrendMinerOptions());
+
+  /// Clusters the benchmark datasets by the model's validation accuracy at
+  /// 0-based stage `stage` (clamped per dataset to its last epoch) into
+  /// min(num_trends, #datasets) trends, sorted by ascending mean_val.
+  StatusOr<std::vector<ConvergenceTrend>> MineTrends(size_t model_index,
+                                                     int stage) const;
+
+  /// Eq. 5: index of the trend whose mean validation accuracy is closest
+  /// to `observed_val`. Requires a non-empty trend list.
+  static size_t MatchTrend(const std::vector<ConvergenceTrend>& trends,
+                           double observed_val);
+
+  /// Eq. 6: predicted final test accuracy = mean final test of the matched
+  /// trend. Requires a non-empty trend list.
+  static double PredictFinal(const std::vector<ConvergenceTrend>& trends,
+                             double observed_val);
+
+  const TrendMinerOptions& options() const { return options_; }
+
+ private:
+  const PerformanceMatrix* matrix_;
+  TrendMinerOptions options_;
+};
+
+}  // namespace tps
+
+#endif  // TPS_CORE_CONVERGENCE_TREND_H_

@@ -1,0 +1,38 @@
+#include "core/evaluation.h"
+
+#include "util/stats.h"
+
+namespace tps {
+
+StatusOr<std::vector<double>> TrueFinalAccuracies(
+    const ModelZoo& zoo, const Dataset& target,
+    const FineTuneSimulator& simulator, const Hyperparams& hp) {
+  std::vector<double> accuracies;
+  accuracies.reserve(zoo.size());
+  for (const PretrainedModel& model : zoo.models()) {
+    TPS_ASSIGN_OR_RETURN(TrainingRun run, simulator.Run(model, target, hp));
+    accuracies.push_back(run.final_test());
+  }
+  return accuracies;
+}
+
+double MeanAt(const std::vector<double>& accuracies,
+              const std::vector<size_t>& indices) {
+  if (indices.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i : indices) sum += accuracies[i];
+  return sum / static_cast<double>(indices.size());
+}
+
+size_t BestModel(const std::vector<double>& accuracies) {
+  return stats::ArgMax(accuracies);
+}
+
+std::vector<size_t> TopKByAccuracy(const std::vector<double>& accuracies,
+                                   size_t k) {
+  std::vector<size_t> order = stats::ArgSortDescending(accuracies);
+  if (order.size() > k) order.resize(k);
+  return order;
+}
+
+}  // namespace tps

@@ -1,0 +1,38 @@
+#ifndef TPS_CORE_EVALUATION_H_
+#define TPS_CORE_EVALUATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "model/zoo.h"
+#include "sim/finetune_simulator.h"
+#include "sim/hyperparams.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+/// Evaluation-only helpers for the benchmark harnesses: the "what would
+/// every model actually achieve" ground truth that methods are scored
+/// against (the paper obtains it by fine-tuning all models on each target).
+
+/// Final test accuracy of every zoo model fully fine-tuned on `target`
+/// (indexed like the zoo).
+StatusOr<std::vector<double>> TrueFinalAccuracies(
+    const ModelZoo& zoo, const Dataset& target,
+    const FineTuneSimulator& simulator, const Hyperparams& hp);
+
+/// Mean of the accuracies at `indices`.
+double MeanAt(const std::vector<double>& accuracies,
+              const std::vector<size_t>& indices);
+
+/// Index (into `accuracies`) of the best model.
+size_t BestModel(const std::vector<double>& accuracies);
+
+/// Indices of the top `k` models by accuracy, descending.
+std::vector<size_t> TopKByAccuracy(const std::vector<double>& accuracies,
+                                   size_t k);
+
+}  // namespace tps
+
+#endif  // TPS_CORE_EVALUATION_H_

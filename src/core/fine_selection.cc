@@ -1,0 +1,123 @@
+#include "core/fine_selection.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tps {
+
+FineSelectionSelector::FineSelectionSelector(
+    const ModelZoo* zoo, const FineTuneSimulator* simulator,
+    const ConvergenceTrendMiner* miner, FineSelectionOptions options)
+    : zoo_(zoo), simulator_(simulator), miner_(miner), options_(options) {
+  TPS_CHECK(zoo_ != nullptr);
+  TPS_CHECK(simulator_ != nullptr);
+  TPS_CHECK(miner_ != nullptr);
+  TPS_CHECK(options_.threshold >= 0.0);
+}
+
+StatusOr<SelectionOutcome> FineSelectionSelector::Select(
+    const std::vector<size_t>& candidates, const Dataset& target,
+    const Hyperparams& hp, EpochBudget* budget) const {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("fine-selection needs >= 1 candidate");
+  }
+
+  // Deterministic full curves; prefixes are consumed stage by stage.
+  std::vector<TrainingRun> runs;
+  runs.reserve(candidates.size());
+  for (size_t index : candidates) {
+    if (index >= zoo_->size()) {
+      return Status::OutOfRange("candidate index out of range");
+    }
+    TPS_ASSIGN_OR_RETURN(TrainingRun run,
+                         simulator_->Run(zoo_->model(index), target, hp));
+    runs.push_back(std::move(run));
+  }
+
+  SelectionOutcome outcome;
+  std::vector<size_t> remaining(candidates.size());
+  for (size_t i = 0; i < remaining.size(); ++i) remaining[i] = i;
+
+  for (int stage = 0; stage < hp.epochs; ++stage) {
+    outcome.survivors_per_stage.push_back(remaining.size());
+    outcome.training_epochs += static_cast<double>(remaining.size());
+    if (budget != nullptr) {
+      budget->ChargeTraining(static_cast<double>(remaining.size()));
+    }
+    if (remaining.size() <= 1) continue;
+
+    const auto val_at_stage = [&](size_t pos) {
+      return runs[pos].val_accuracy[static_cast<size_t>(stage)];
+    };
+
+    // Predict each survivor's final accuracy from its convergence trends
+    // (Eqs. 5-6). Trends are mined per model at the current stage.
+    std::vector<double> predictions(remaining.size());
+    for (size_t r = 0; r < remaining.size(); ++r) {
+      const size_t pos = remaining[r];
+      TPS_ASSIGN_OR_RETURN(
+          std::vector<ConvergenceTrend> trends,
+          miner_->MineTrends(candidates[pos], stage));
+      if (trends.empty()) {
+        return Status::Internal("trend mining produced no trends");
+      }
+      predictions[r] =
+          ConvergenceTrendMiner::PredictFinal(trends, val_at_stage(pos));
+    }
+
+    // Fine-filter: examine survivors from worst validation upward; drop a
+    // model when some better-validating survivor also predicts better by
+    // the threshold margin.
+    std::vector<size_t> order(remaining.size());  // Positions into remaining.
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return val_at_stage(remaining[a]) < val_at_stage(remaining[b]);
+    });
+    std::vector<bool> removed(remaining.size(), false);
+    for (size_t oi = 0; oi < order.size(); ++oi) {
+      const size_t j = order[oi];
+      for (size_t ok = oi + 1; ok < order.size(); ++ok) {
+        const size_t i = order[ok];
+        if (removed[i]) continue;
+        const bool better_val =
+            val_at_stage(remaining[i]) > val_at_stage(remaining[j]);
+        const bool better_pred =
+            predictions[i] - predictions[j] >
+            options_.threshold * predictions[j];
+        if (better_val && better_pred) {
+          removed[j] = true;
+          break;
+        }
+      }
+    }
+    std::vector<size_t> survivors;
+    for (size_t r = 0; r < remaining.size(); ++r) {
+      if (!removed[r]) survivors.push_back(remaining[r]);
+    }
+    TPS_CHECK(!survivors.empty());  // The best-val model is never removed.
+
+    // Halving backstop: ensure at least half the stage's pool is gone.
+    const size_t keep = std::max<size_t>(1, remaining.size() / 2);
+    if (survivors.size() > keep) {
+      std::stable_sort(survivors.begin(), survivors.end(),
+                       [&](size_t a, size_t b) {
+                         return val_at_stage(a) > val_at_stage(b);
+                       });
+      survivors.resize(keep);
+    }
+    remaining = std::move(survivors);
+  }
+
+  size_t best = remaining[0];
+  for (size_t pos : remaining) {
+    if (runs[pos].val_accuracy.back() > runs[best].val_accuracy.back()) {
+      best = pos;
+    }
+  }
+  outcome.selected_model = candidates[best];
+  outcome.selected_accuracy = runs[best].final_test();
+  return outcome;
+}
+
+}  // namespace tps

@@ -1,0 +1,64 @@
+#ifndef TPS_CORE_FINE_SELECTION_H_
+#define TPS_CORE_FINE_SELECTION_H_
+
+#include <vector>
+
+#include "core/convergence_trend.h"
+#include "core/selection.h"
+#include "data/dataset.h"
+#include "model/zoo.h"
+#include "sim/epoch_budget.h"
+#include "sim/finetune_simulator.h"
+#include "sim/hyperparams.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+struct FineSelectionOptions {
+  /// Fine-filter threshold (Table IV): model j is removed only when some
+  /// model i has better validation accuracy AND
+  /// pred_i - pred_j > threshold * pred_j. 0.0 is the paper's default.
+  double threshold = 0.0;
+};
+
+/// The paper's fine-selection strategy (Algorithm 1): successive halving
+/// augmented with convergence-trend prediction. At each stage every
+/// survivor trains one epoch; then
+///   1. each survivor's final accuracy is predicted by matching its current
+///      validation accuracy to the model's mined convergence trends
+///      (Eqs. 5-6);
+///   2. fine-filter: walking from the worst validation score upward, a
+///      model is dropped if some better-validating model also has a
+///      better prediction by the threshold margin;
+///   3. halving backstop: the pool is cut to floor(n/2) by validation if
+///      fine-filter removed fewer than half.
+/// At least half the pool is filtered per stage, so cost is at most
+/// successive halving's and usually far less.
+class FineSelectionSelector {
+ public:
+  /// Pointers must outlive this object.
+  FineSelectionSelector(const ModelZoo* zoo,
+                        const FineTuneSimulator* simulator,
+                        const ConvergenceTrendMiner* miner,
+                        FineSelectionOptions options = FineSelectionOptions());
+
+  /// Runs the selection over `candidates` (zoo indices, which must also be
+  /// valid row indices of the miner's performance matrix). Charges training
+  /// epochs to `budget` (may be null).
+  StatusOr<SelectionOutcome> Select(const std::vector<size_t>& candidates,
+                                    const Dataset& target,
+                                    const Hyperparams& hp,
+                                    EpochBudget* budget) const;
+
+  const FineSelectionOptions& options() const { return options_; }
+
+ private:
+  const ModelZoo* zoo_;
+  const FineTuneSimulator* simulator_;
+  const ConvergenceTrendMiner* miner_;
+  FineSelectionOptions options_;
+};
+
+}  // namespace tps
+
+#endif  // TPS_CORE_FINE_SELECTION_H_

@@ -1,0 +1,73 @@
+#ifndef TPS_CORE_HYPERBAND_H_
+#define TPS_CORE_HYPERBAND_H_
+
+#include <vector>
+
+#include "core/selection.h"
+#include "data/dataset.h"
+#include "model/zoo.h"
+#include "sim/epoch_budget.h"
+#include "sim/finetune_simulator.h"
+#include "sim/hyperparams.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+struct HyperbandOptions {
+  /// Reduction factor shared by all brackets.
+  int eta = 2;
+};
+
+/// Per-bracket trace for reporting.
+struct HyperbandBracket {
+  /// Bracket id s (s_max .. 0).
+  int s = 0;
+  /// Number of candidates the bracket started with.
+  size_t initial_candidates = 0;
+  /// Epochs each starting candidate trained before the first cut.
+  int initial_epochs = 0;
+  /// Training epochs the bracket consumed.
+  double epochs = 0.0;
+  /// The bracket's winner (zoo index) and its final validation accuracy.
+  size_t winner = 0;
+  double winner_val = 0.0;
+};
+
+struct HyperbandOutcome {
+  SelectionOutcome selection;
+  std::vector<HyperbandBracket> brackets;
+};
+
+/// Hyperband (Li et al., 2018) over the model-selection problem: runs
+/// several successive-halving brackets that trade breadth (many candidates,
+/// short initial training) against depth (few candidates, long initial
+/// training), then picks the best bracket winner by validation accuracy.
+///
+/// Adapted to the paper's regime: a "resource" is one fine-tuning epoch and
+/// the maximum per-candidate resource is hp.epochs, so s_max =
+/// floor(log_eta(hp.epochs)). Candidates for each bracket are taken from
+/// the front of `candidates` (a recall-style ranking makes the broad
+/// brackets meaningful). Like the SH baseline it curbs, Hyperband never
+/// uses benchmark convergence trends — it is the strongest trend-free
+/// baseline the fine-selection method should be compared against.
+class HyperbandSelector {
+ public:
+  HyperbandSelector(const ModelZoo* zoo, const FineTuneSimulator* simulator,
+                    HyperbandOptions options = HyperbandOptions());
+
+  /// Runs all brackets over `candidates` (zoo indices, best-first).
+  /// Charges training epochs to `budget` (may be null).
+  StatusOr<HyperbandOutcome> Select(const std::vector<size_t>& candidates,
+                                    const Dataset& target,
+                                    const Hyperparams& hp,
+                                    EpochBudget* budget) const;
+
+ private:
+  const ModelZoo* zoo_;
+  const FineTuneSimulator* simulator_;
+  HyperbandOptions options_;
+};
+
+}  // namespace tps
+
+#endif  // TPS_CORE_HYPERBAND_H_

@@ -1,0 +1,273 @@
+#include "core/model_clusterer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+#include "clustering/distance.h"
+#include "clustering/hierarchical.h"
+#include "clustering/kmeans.h"
+#include "embedding/text_embedder.h"
+#include "model/model_card.h"
+#include "util/logging.h"
+
+namespace tps {
+
+std::vector<int> ModelClustering::NonSingletonClusters() const {
+  std::vector<int> out;
+  const std::vector<size_t> sizes = clusters.Sizes();
+  for (int c = 0; c < clusters.num_clusters; ++c) {
+    if (sizes[static_cast<size_t>(c)] > 1) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<int> ModelClustering::SingletonClusters() const {
+  std::vector<int> out;
+  const std::vector<size_t> sizes = clusters.Sizes();
+  for (int c = 0; c < clusters.num_clusters; ++c) {
+    if (sizes[static_cast<size_t>(c)] == 1) out.push_back(c);
+  }
+  return out;
+}
+
+bool ModelClustering::IsSingletonModel(size_t model_index) const {
+  TPS_CHECK(model_index < clusters.assignments.size());
+  const int c = clusters.assignments[model_index];
+  return clusters.Sizes()[static_cast<size_t>(c)] == 1;
+}
+
+int ModelClustering::ClusterOf(size_t model_index) const {
+  TPS_CHECK(model_index < clusters.assignments.size());
+  return clusters.assignments[model_index];
+}
+
+namespace {
+
+StatusOr<Matrix> BuildDistances(const PerformanceMatrix& matrix,
+                                const ModelZoo& zoo,
+                                const ModelClusteringOptions& options) {
+  const size_t n = zoo.size();
+  if (options.similarity == ModelSimilarityKind::kPerformance) {
+    std::vector<std::vector<double>> vectors;
+    vectors.reserve(n);
+    for (size_t m = 0; m < n; ++m) vectors.push_back(matrix.ModelVector(m));
+    return PairwiseDistances(vectors, DistanceMetric::kTopKAbsDiff,
+                             options.top_k);
+  }
+  // Text-card similarity baseline.
+  HashedTextEmbedder embedder;
+  std::vector<std::vector<double>> embeddings;
+  embeddings.reserve(n);
+  for (size_t m = 0; m < n; ++m) {
+    embeddings.push_back(embedder.Embed(GenerateModelCard(
+        zoo.model(m).spec())));
+  }
+  return PairwiseDistances(embeddings, DistanceMetric::kCosine);
+}
+
+}  // namespace
+
+StatusOr<ModelClustering> ClusterModels(
+    const PerformanceMatrix& matrix, const ModelZoo& zoo,
+    const ModelClusteringOptions& options) {
+  if (zoo.size() != matrix.num_models()) {
+    return Status::InvalidArgument(
+        "zoo / performance-matrix model count mismatch");
+  }
+  if (zoo.size() < 2) {
+    return Status::InvalidArgument("clustering needs at least 2 models");
+  }
+
+  ModelClustering result;
+  result.options = options;
+  TPS_ASSIGN_OR_RETURN(result.distances,
+                       BuildDistances(matrix, zoo, options));
+
+  if (options.algorithm == ClusterAlgorithm::kHierarchical) {
+    HierarchicalOptions hopts;
+    hopts.linkage = Linkage::kAverage;
+    hopts.num_clusters = options.num_clusters;
+    hopts.distance_threshold = options.distance_threshold;
+    TPS_ASSIGN_OR_RETURN(HierarchicalResult hr,
+                         HierarchicalCluster(result.distances, hopts));
+    result.clusters = std::move(hr.clustering);
+  } else {
+    if (options.num_clusters < 1) {
+      return Status::InvalidArgument("k-means needs num_clusters >= 1");
+    }
+    // K-means runs in the raw feature space (performance vectors or card
+    // embeddings), not on the distance matrix.
+    std::vector<std::vector<double>> features;
+    features.reserve(zoo.size());
+    if (options.similarity == ModelSimilarityKind::kPerformance) {
+      for (size_t m = 0; m < zoo.size(); ++m) {
+        features.push_back(matrix.ModelVector(m));
+      }
+    } else {
+      HashedTextEmbedder embedder;
+      for (size_t m = 0; m < zoo.size(); ++m) {
+        features.push_back(
+            embedder.Embed(GenerateModelCard(zoo.model(m).spec())));
+      }
+    }
+    TPS_ASSIGN_OR_RETURN(Matrix points, Matrix::FromRows(features));
+    KMeansOptions kopts;
+    kopts.num_clusters = options.num_clusters;
+    kopts.seed = options.seed;
+    TPS_ASSIGN_OR_RETURN(KMeansResult kr, KMeans(points, kopts));
+    result.clusters = std::move(kr.clustering);
+  }
+
+  // Representative model per cluster: highest average benchmark accuracy.
+  result.representatives.assign(
+      static_cast<size_t>(result.clusters.num_clusters), 0);
+  for (int c = 0; c < result.clusters.num_clusters; ++c) {
+    const std::vector<size_t> members = result.clusters.Members(c);
+    TPS_CHECK(!members.empty());
+    size_t best = members[0];
+    double best_acc = matrix.ModelAverageAccuracy(best);
+    for (size_t m : members) {
+      const double acc = matrix.ModelAverageAccuracy(m);
+      if (acc > best_acc) {
+        best_acc = acc;
+        best = m;
+      }
+    }
+    result.representatives[static_cast<size_t>(c)] = best;
+  }
+  return result;
+}
+
+std::string FormatClusters(const ModelClustering& clustering,
+                           const ModelZoo& zoo, bool include_singletons) {
+  std::ostringstream os;
+  const std::vector<size_t> sizes = clustering.clusters.Sizes();
+  int printed = 0;
+  for (int c = 0; c < clustering.clusters.num_clusters; ++c) {
+    const size_t size = sizes[static_cast<size_t>(c)];
+    if (size <= 1 && !include_singletons) continue;
+    os << "C" << ++printed << " (size " << size << "): ";
+    bool first = true;
+    for (size_t m : clustering.clusters.Members(c)) {
+      if (!first) os << ", ";
+      os << zoo.model(m).name();
+      first = false;
+    }
+    os << "\n";
+  }
+  if (!include_singletons) {
+    size_t singles = 0;
+    for (size_t s : sizes) {
+      if (s == 1) ++singles;
+    }
+    os << "(+ " << singles << " singleton clusters)\n";
+  }
+  return os.str();
+}
+
+std::string SerializeClustering(const ModelClustering& clustering) {
+  std::ostringstream out;
+  out << "tps-model-clustering v1\n";
+  out << clustering.clusters.assignments.size() << " "
+      << clustering.clusters.num_clusters << "\n";
+  out << static_cast<int>(clustering.options.similarity) << " "
+      << static_cast<int>(clustering.options.algorithm) << " "
+      << clustering.options.top_k << " " << clustering.options.num_clusters
+      << " " << clustering.options.distance_threshold << " "
+      << clustering.options.seed << "\n";
+  for (int a : clustering.clusters.assignments) out << a << " ";
+  out << "\n";
+  for (size_t r : clustering.representatives) out << r << " ";
+  out << "\n";
+  out.precision(17);
+  const size_t n = clustering.distances.rows();
+  out << n << "\n";
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) out << clustering.distances.At(i, j)
+                                       << " ";
+    out << "\n";
+  }
+  return out.str();
+}
+
+Status SaveClustering(const ModelClustering& clustering,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << SerializeClustering(clustering);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<ModelClustering> DeserializeClustering(const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  std::getline(in, header);
+  if (header != "tps-model-clustering v1") {
+    return Status::InvalidArgument("bad clustering header");
+  }
+  size_t num_models = 0;
+  int num_clusters = 0;
+  in >> num_models >> num_clusters;
+  if (!in || num_models == 0 || num_clusters <= 0 ||
+      num_clusters > static_cast<int>(num_models)) {
+    return Status::InvalidArgument("bad clustering dimensions");
+  }
+
+  ModelClustering clustering;
+  int similarity = 0, algorithm = 0;
+  in >> similarity >> algorithm >> clustering.options.top_k >>
+      clustering.options.num_clusters >>
+      clustering.options.distance_threshold >> clustering.options.seed;
+  if (!in || similarity < 0 || similarity > 1 || algorithm < 0 ||
+      algorithm > 1) {
+    return Status::InvalidArgument("bad clustering options");
+  }
+  clustering.options.similarity =
+      static_cast<ModelSimilarityKind>(similarity);
+  clustering.options.algorithm = static_cast<ClusterAlgorithm>(algorithm);
+
+  clustering.clusters.num_clusters = num_clusters;
+  clustering.clusters.assignments.resize(num_models);
+  for (int& a : clustering.clusters.assignments) {
+    in >> a;
+    if (!in || a < 0 || a >= num_clusters) {
+      return Status::InvalidArgument("bad assignment");
+    }
+  }
+  clustering.representatives.resize(static_cast<size_t>(num_clusters));
+  for (size_t& r : clustering.representatives) {
+    in >> r;
+    if (!in || r >= num_models) {
+      return Status::InvalidArgument("bad representative");
+    }
+  }
+  size_t n = 0;
+  in >> n;
+  if (!in || n != num_models) {
+    return Status::InvalidArgument("bad distance matrix size");
+  }
+  clustering.distances = Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) in >> clustering.distances.At(i, j);
+  }
+  if (!in) return Status::InvalidArgument("truncated distances");
+  return clustering;
+}
+
+StatusOr<ModelClustering> LoadClustering(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  auto result = DeserializeClustering(text);
+  if (!result.ok()) {
+    return Status(result.status().code(),
+                  result.status().message() + " in " + path);
+  }
+  return result;
+}
+
+}  // namespace tps

@@ -1,0 +1,231 @@
+#include "core/performance_matrix.h"
+
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace tps {
+
+StatusOr<PerformanceMatrix> PerformanceMatrix::Build(
+    const ModelZoo& zoo, const std::vector<const Dataset*>& benchmarks,
+    const FineTuneSimulator& simulator, const Hyperparams& hp) {
+  if (zoo.size() == 0) {
+    return Status::InvalidArgument("PerformanceMatrix needs >= 1 model");
+  }
+  if (benchmarks.empty()) {
+    return Status::InvalidArgument(
+        "PerformanceMatrix needs >= 1 benchmark dataset");
+  }
+
+  PerformanceMatrix pm;
+  for (const PretrainedModel& model : zoo.models()) {
+    pm.model_names_.push_back(model.name());
+  }
+  for (const Dataset* ds : benchmarks) {
+    if (ds == nullptr) {
+      return Status::InvalidArgument("null benchmark dataset");
+    }
+    pm.dataset_names_.push_back(ds->name());
+  }
+
+  pm.accuracy_ = Matrix(benchmarks.size(), zoo.size());
+  pm.runs_.reserve(benchmarks.size() * zoo.size());
+  for (size_t di = 0; di < benchmarks.size(); ++di) {
+    for (size_t mi = 0; mi < zoo.size(); ++mi) {
+      TPS_ASSIGN_OR_RETURN(
+          TrainingRun run,
+          simulator.Run(zoo.model(mi), *benchmarks[di], hp));
+      pm.accuracy_.At(di, mi) = run.final_test();
+      pm.runs_.push_back(std::move(run));
+    }
+  }
+  return pm;
+}
+
+StatusOr<PerformanceMatrix> PerformanceMatrix::BuildParallel(
+    const ModelZoo& zoo, const std::vector<const Dataset*>& benchmarks,
+    const FineTuneSimulator& simulator, const Hyperparams& hp,
+    int num_threads) {
+  if (num_threads < 1) {
+    return Status::InvalidArgument("BuildParallel needs num_threads >= 1");
+  }
+  if (num_threads == 1) return Build(zoo, benchmarks, simulator, hp);
+  if (zoo.size() == 0) {
+    return Status::InvalidArgument("PerformanceMatrix needs >= 1 model");
+  }
+  if (benchmarks.empty()) {
+    return Status::InvalidArgument(
+        "PerformanceMatrix needs >= 1 benchmark dataset");
+  }
+  for (const Dataset* ds : benchmarks) {
+    if (ds == nullptr) {
+      return Status::InvalidArgument("null benchmark dataset");
+    }
+  }
+
+  PerformanceMatrix pm;
+  for (const PretrainedModel& model : zoo.models()) {
+    pm.model_names_.push_back(model.name());
+  }
+  for (const Dataset* ds : benchmarks) pm.dataset_names_.push_back(ds->name());
+  const size_t num_models = zoo.size();
+  const size_t total = benchmarks.size() * num_models;
+  pm.accuracy_ = Matrix(benchmarks.size(), num_models);
+  pm.runs_.resize(total);
+
+  // Static work split over the flat (dataset, model) index space. Each
+  // cell is written by exactly one thread; failures are collected per
+  // thread and surfaced after join.
+  std::vector<Status> worker_status(static_cast<size_t>(num_threads),
+                                    Status::OK());
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (size_t index = static_cast<size_t>(t); index < total;
+           index += static_cast<size_t>(num_threads)) {
+        const size_t di = index / num_models;
+        const size_t mi = index % num_models;
+        auto run = simulator.Run(zoo.model(mi), *benchmarks[di], hp);
+        if (!run.ok()) {
+          worker_status[static_cast<size_t>(t)] = run.status();
+          return;
+        }
+        pm.accuracy_.At(di, mi) = run->final_test();
+        pm.runs_[index] = std::move(run).value();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (const Status& status : worker_status) {
+    TPS_RETURN_NOT_OK(status);
+  }
+  return pm;
+}
+
+std::vector<double> PerformanceMatrix::ModelVector(size_t model_index) const {
+  TPS_CHECK(model_index < num_models());
+  return accuracy_.Col(model_index);
+}
+
+double PerformanceMatrix::ModelAverageAccuracy(size_t model_index) const {
+  const std::vector<double> vec = ModelVector(model_index);
+  double sum = 0.0;
+  for (double v : vec) sum += v;
+  return vec.empty() ? 0.0 : sum / static_cast<double>(vec.size());
+}
+
+const TrainingRun& PerformanceMatrix::run(size_t dataset_index,
+                                          size_t model_index) const {
+  TPS_CHECK(dataset_index < num_datasets());
+  TPS_CHECK(model_index < num_models());
+  return runs_[dataset_index * num_models() + model_index];
+}
+
+double PerformanceMatrix::ValAtStage(size_t dataset_index, size_t model_index,
+                                     int stage) const {
+  const TrainingRun& r = run(dataset_index, model_index);
+  TPS_CHECK(!r.val_accuracy.empty());
+  const int last = static_cast<int>(r.val_accuracy.size()) - 1;
+  const int s = stage < 0 ? 0 : (stage > last ? last : stage);
+  return r.val_accuracy[static_cast<size_t>(s)];
+}
+
+std::string PerformanceMatrix::Serialize() const {
+  std::ostringstream out;
+  out << "tps-performance-matrix v1\n";
+  out << num_datasets() << " " << num_models() << "\n";
+  for (const std::string& name : dataset_names_) out << name << "\n";
+  for (const std::string& name : model_names_) out << name << "\n";
+  out.precision(17);
+  for (size_t di = 0; di < num_datasets(); ++di) {
+    for (size_t mi = 0; mi < num_models(); ++mi) {
+      const TrainingRun& r = run(di, mi);
+      out << di << " " << mi << " " << r.epochs();
+      for (double v : r.val_accuracy) out << " " << v;
+      for (double v : r.test_accuracy) out << " " << v;
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+Status PerformanceMatrix::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << Serialize();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<PerformanceMatrix> PerformanceMatrix::Deserialize(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  std::getline(in, header);
+  if (header != "tps-performance-matrix v1") {
+    return Status::InvalidArgument("bad performance-matrix header");
+  }
+  size_t num_datasets = 0, num_models = 0;
+  in >> num_datasets >> num_models;
+  in.ignore();  // Trailing newline.
+  if (!in || num_datasets == 0 || num_models == 0) {
+    return Status::InvalidArgument("bad performance-matrix dimensions");
+  }
+
+  PerformanceMatrix pm;
+  pm.dataset_names_.resize(num_datasets);
+  for (std::string& name : pm.dataset_names_) {
+    if (!std::getline(in, name) || name.empty()) {
+      return Status::InvalidArgument("truncated dataset names");
+    }
+  }
+  pm.model_names_.resize(num_models);
+  for (std::string& name : pm.model_names_) {
+    if (!std::getline(in, name) || name.empty()) {
+      return Status::InvalidArgument("truncated model names");
+    }
+  }
+
+  pm.accuracy_ = Matrix(num_datasets, num_models);
+  pm.runs_.resize(num_datasets * num_models);
+  for (size_t entry = 0; entry < num_datasets * num_models; ++entry) {
+    size_t di = 0, mi = 0;
+    int epochs = 0;
+    if (!(in >> di >> mi >> epochs) || di >= num_datasets ||
+        mi >= num_models || epochs < 1) {
+      return Status::InvalidArgument("truncated run record");
+    }
+    TrainingRun run;
+    run.dataset_name = pm.dataset_names_[di];
+    run.model_name = pm.model_names_[mi];
+    run.val_accuracy.resize(static_cast<size_t>(epochs));
+    run.test_accuracy.resize(static_cast<size_t>(epochs));
+    for (double& v : run.val_accuracy) in >> v;
+    for (double& v : run.test_accuracy) in >> v;
+    if (!in) return Status::InvalidArgument("truncated curves");
+    pm.accuracy_.At(di, mi) = run.final_test();
+    pm.runs_[di * num_models + mi] = std::move(run);
+  }
+  return pm;
+}
+
+StatusOr<PerformanceMatrix> PerformanceMatrix::LoadFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  auto result = Deserialize(text);
+  if (!result.ok()) {
+    return Status(result.status().code(),
+                  result.status().message() + " in " + path);
+  }
+  return result;
+}
+
+}  // namespace tps

@@ -1,0 +1,86 @@
+#ifndef TPS_CORE_PLANNER_H_
+#define TPS_CORE_PLANNER_H_
+
+#include <string>
+
+#include "core/coarse_recall.h"
+#include "core/selection.h"
+#include "core/two_phase.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+/// Selection strategies the planner chooses between, cheapest first.
+enum class SelectionStrategy {
+  /// Coarse-recall only: fine-tune nothing but the single top-scored
+  /// model. Cheapest, most error-prone (the paper's "first category").
+  kProxyOnly,
+  /// The paper's coarse-recall + fine-selection pipeline.
+  kTwoPhase,
+  /// Successive halving over the whole repository.
+  kSuccessiveHalving,
+  /// Fine-tune everything.
+  kBruteForce,
+};
+
+std::string ToString(SelectionStrategy strategy);
+
+/// Closed-form cost predictions (in epoch-equivalents) for each strategy,
+/// given the repository shape. These are exact for BF/SH (their schedules
+/// are deterministic) and worst-case bounds for the adaptive strategies.
+struct StrategyCosts {
+  double proxy_only = 0.0;
+  double two_phase_upper = 0.0;  // Recall + SH-over-K bound.
+  double two_phase_lower = 0.0;  // Recall + single-survivor fine-selection.
+  double successive_halving = 0.0;
+  double brute_force = 0.0;
+};
+
+struct PlanDecision {
+  SelectionStrategy strategy = SelectionStrategy::kProxyOnly;
+  /// The worst-case cost of the chosen strategy.
+  double predicted_cost = 0.0;
+  StrategyCosts costs;
+  std::string rationale;
+};
+
+/// Shift-style cost-aware planning (the paper's reference [4]: "builds a
+/// cost model to predict the training cost of successive halving and
+/// fine-tuning directly"): given an epoch budget, pick the most thorough
+/// strategy whose *worst-case* predicted cost fits.
+///
+/// Cost formulas (T = epochs per full fine-tune, n = repository size,
+/// C = scored cluster representatives, K = recall size):
+///   proxy-only          0.5 C + T
+///   two-phase  (lower)  0.5 C + K + (T - 1)
+///              (upper)  0.5 C + SH-schedule(K)
+///   SH                  sum of the floor(n/2) schedule over T stages
+///   brute force         n T
+class CostAwarePlanner {
+ public:
+  /// `num_models`: repository size; `num_scored_clusters`: non-singleton
+  /// clusters the recall phase scores; `recall_k`: fine-selection entry
+  /// size; `epochs`: full fine-tune length.
+  CostAwarePlanner(size_t num_models, size_t num_scored_clusters,
+                   size_t recall_k, int epochs);
+
+  /// Predicted costs of all strategies.
+  StrategyCosts PredictCosts() const;
+
+  /// Exact epoch count of the floor(n/2) successive-halving schedule.
+  static double HalvingScheduleCost(size_t candidates, int epochs);
+
+  /// Picks the most thorough strategy fitting `epoch_budget`. Falls back
+  /// to proxy-only when nothing fits (with a rationale saying so).
+  PlanDecision Plan(double epoch_budget) const;
+
+ private:
+  size_t num_models_;
+  size_t num_scored_clusters_;
+  size_t recall_k_;
+  int epochs_;
+};
+
+}  // namespace tps
+
+#endif  // TPS_CORE_PLANNER_H_

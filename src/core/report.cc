@@ -1,0 +1,56 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace tps {
+
+std::string RenderSelectionReport(const TwoPhaseReport& report,
+                                  const ModelZoo& zoo, const Dataset& target,
+                                  size_t recall_rows) {
+  std::ostringstream os;
+  os << "# Two-phase selection report\n\n";
+  os << "**Target**: `" << target.name() << "` ("
+     << ToString(target.spec().domain) << ", "
+     << target.spec().num_labels << " labels, difficulty "
+     << strings::FormatDouble(target.spec().difficulty, 2) << ")\n\n";
+
+  os << "## Phase 1 — coarse recall\n\n";
+  os << report.recall.proxies_computed
+     << " proxy score(s) computed on cluster representatives ("
+     << strings::FormatDouble(report.budget.inference_epochs(), 1)
+     << " epoch-equivalents).\n\n";
+  os << "| rank | model | recall score | prior acc | proxy | propagated |\n";
+  os << "|---|---|---|---|---|---|\n";
+  for (size_t r = 0; r < recall_rows && r < report.recall.ranked.size();
+       ++r) {
+    const RecallEntry& entry = report.recall.ranked[r];
+    os << "| " << r << " | `" << zoo.model(entry.model_index).name()
+       << "` | " << strings::FormatDouble(entry.recall_score, 4) << " | "
+       << strings::FormatDouble(entry.prior_accuracy, 4) << " | "
+       << strings::FormatDouble(entry.proxy_component, 4) << " | "
+       << (entry.via_propagation ? "yes" : "no") << " |\n";
+  }
+
+  os << "\n## Phase 2 — fine selection\n\n";
+  os << "Survivors per training epoch:";
+  for (size_t n : report.selection.survivors_per_stage) os << " " << n;
+  os << "\n\n**Selected**: `"
+     << zoo.model(report.selection.selected_model).name()
+     << "` with final test accuracy "
+     << strings::FormatDouble(report.selection.selected_accuracy, 4)
+     << ".\n\n";
+
+  os << "## Cost ledger\n\n";
+  os << "| component | epoch-equivalents |\n|---|---|\n";
+  os << "| fine-tuning | "
+     << strings::FormatDouble(report.budget.training_epochs(), 1) << " |\n";
+  os << "| proxy inference | "
+     << strings::FormatDouble(report.budget.inference_epochs(), 1) << " |\n";
+  os << "| **total** | **"
+     << strings::FormatDouble(report.budget.total_epochs(), 1) << "** |\n";
+  return os.str();
+}
+
+}  // namespace tps

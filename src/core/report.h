@@ -1,0 +1,22 @@
+#ifndef TPS_CORE_REPORT_H_
+#define TPS_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/two_phase.h"
+#include "data/dataset.h"
+#include "model/zoo.h"
+
+namespace tps {
+
+/// Renders a human-readable Markdown report of one two-phase selection run:
+/// target summary, recall ranking (with score breakdown), fine-selection
+/// survivor schedule, the winner, and the cost ledger. Used by the CLI's
+/// `select --report=PATH` and handy for experiment logs.
+std::string RenderSelectionReport(const TwoPhaseReport& report,
+                                  const ModelZoo& zoo, const Dataset& target,
+                                  size_t recall_rows = 10);
+
+}  // namespace tps
+
+#endif  // TPS_CORE_REPORT_H_

@@ -1,0 +1,58 @@
+#ifndef TPS_CORE_TASK_SIMILARITY_H_
+#define TPS_CORE_TASK_SIMILARITY_H_
+
+#include <vector>
+
+#include "core/performance_matrix.h"
+#include "data/dataset.h"
+#include "model/zoo.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+/// Task2Vec-style selection baseline (the paper's related work [57]):
+/// embed tasks with a fixed probe model, find the benchmark task nearest
+/// to the target, and rank repository models by their recorded performance
+/// on that benchmark. One probe forward pass per task — even cheaper than
+/// LEEP-based recall, but blind to anything the nearest benchmark does not
+/// capture.
+///
+/// Task embedding: the probe model's features are computed on the task's
+/// examples; the embedding concatenates the feature mean with the
+/// per-dimension within-task standard deviation (a cheap stand-in for the
+/// Fisher-information diagonal Task2Vec uses). Similarity is cosine.
+class TaskSimilaritySelector {
+ public:
+  /// `probe` is the fixed probe model (e.g. bert-base / vit-base); all
+  /// pointers must outlive this object. Benchmark embeddings are computed
+  /// lazily on first use and cached.
+  TaskSimilaritySelector(const PretrainedModel* probe,
+                         const PerformanceMatrix* matrix,
+                         const std::vector<const Dataset*>& benchmarks);
+
+  /// Embeds one task with the probe model.
+  StatusOr<std::vector<double>> EmbedTask(const Dataset& task) const;
+
+  /// Index (into the benchmark list) of the benchmark most similar to
+  /// `target`, plus the similarity value.
+  struct NearestBenchmark {
+    size_t benchmark_index = 0;
+    double similarity = 0.0;
+  };
+  StatusOr<NearestBenchmark> FindNearestBenchmark(
+      const Dataset& target) const;
+
+  /// Ranks all repository models by their performance-matrix accuracy on
+  /// the nearest benchmark, descending. Returns zoo indices.
+  StatusOr<std::vector<size_t>> RankModels(const Dataset& target) const;
+
+ private:
+  const PretrainedModel* probe_;
+  const PerformanceMatrix* matrix_;
+  std::vector<const Dataset*> benchmarks_;
+  mutable std::vector<std::vector<double>> benchmark_embeddings_;
+};
+
+}  // namespace tps
+
+#endif  // TPS_CORE_TASK_SIMILARITY_H_

@@ -1,0 +1,51 @@
+#include "core/two_phase.h"
+
+#include "util/logging.h"
+
+namespace tps {
+
+TwoPhaseSelector::TwoPhaseSelector(const ModelZoo* zoo,
+                                   const PerformanceMatrix* matrix,
+                                   const ModelClustering* clustering,
+                                   const FineTuneSimulator* simulator)
+    : zoo_(zoo),
+      matrix_(matrix),
+      clustering_(clustering),
+      simulator_(simulator) {
+  TPS_CHECK(zoo_ != nullptr);
+  TPS_CHECK(matrix_ != nullptr);
+  TPS_CHECK(clustering_ != nullptr);
+  TPS_CHECK(simulator_ != nullptr);
+}
+
+StatusOr<TwoPhaseReport> TwoPhaseSelector::Select(
+    const Dataset& target, const TwoPhaseOptions& options) const {
+  return Select(target, options,
+                Hyperparams::DefaultsFor(target.spec().domain));
+}
+
+StatusOr<TwoPhaseReport> TwoPhaseSelector::Select(
+    const Dataset& target, const TwoPhaseOptions& options,
+    const Hyperparams& hp) const {
+  TwoPhaseReport report;
+
+  // Phase 1: coarse recall (charges 0.5 epoch-equivalents per proxy).
+  CoarseRecall recall(zoo_, matrix_, clustering_);
+  TPS_ASSIGN_OR_RETURN(report.recall,
+                       recall.Recall(target, options.recall, &report.budget));
+  const std::vector<size_t> candidates =
+      report.recall.TopModels(options.recall.top_k_models);
+  if (candidates.empty()) {
+    return Status::Internal("coarse recall returned no candidates");
+  }
+
+  // Phase 2: fine selection over the recalled candidates.
+  ConvergenceTrendMiner miner(matrix_, options.trends);
+  FineSelectionSelector fine(zoo_, simulator_, &miner,
+                             options.fine_selection);
+  TPS_ASSIGN_OR_RETURN(report.selection,
+                       fine.Select(candidates, target, hp, &report.budget));
+  return report;
+}
+
+}  // namespace tps

@@ -1,0 +1,67 @@
+#ifndef TPS_CORE_TWO_PHASE_H_
+#define TPS_CORE_TWO_PHASE_H_
+
+#include "core/coarse_recall.h"
+#include "core/convergence_trend.h"
+#include "core/fine_selection.h"
+#include "core/model_clusterer.h"
+#include "core/performance_matrix.h"
+#include "core/selection.h"
+#include "data/dataset.h"
+#include "model/zoo.h"
+#include "sim/epoch_budget.h"
+#include "sim/finetune_simulator.h"
+#include "sim/hyperparams.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+struct TwoPhaseOptions {
+  RecallOptions recall;
+  FineSelectionOptions fine_selection;
+  TrendMinerOptions trends;
+};
+
+/// End-to-end report: who was recalled, who won, and what it cost.
+struct TwoPhaseReport {
+  RecallResult recall;
+  SelectionOutcome selection;
+  /// Full cost ledger: training epochs + 0.5-epoch proxy inferences.
+  EpochBudget budget;
+};
+
+/// The complete framework: offline artifacts (performance matrix + model
+/// clustering) wired to the online coarse-recall -> fine-selection
+/// pipeline.
+///
+///   TwoPhaseSelector selector(&zoo, &matrix, &clustering, &simulator);
+///   TPS_ASSIGN_OR_RETURN(TwoPhaseReport report,
+///                        selector.Select(target, options));
+///
+/// All pointers must outlive the selector.
+class TwoPhaseSelector {
+ public:
+  TwoPhaseSelector(const ModelZoo* zoo, const PerformanceMatrix* matrix,
+                   const ModelClustering* clustering,
+                   const FineTuneSimulator* simulator);
+
+  /// Runs both phases on `target` with per-domain default hyperparameters
+  /// (5 epochs NLP / 4 epochs CV, lr 3e-5).
+  StatusOr<TwoPhaseReport> Select(const Dataset& target,
+                                  const TwoPhaseOptions& options) const;
+
+  /// As above with explicit hyperparameters.
+  StatusOr<TwoPhaseReport> Select(const Dataset& target,
+                                  const TwoPhaseOptions& options,
+                                  const Hyperparams& hp) const;
+
+ private:
+  const ModelZoo* zoo_;
+  const PerformanceMatrix* matrix_;
+  const ModelClustering* clustering_;
+  const FineTuneSimulator* simulator_;
+};
+
+}  // namespace tps
+
+#endif  // TPS_CORE_TWO_PHASE_H_

@@ -1,0 +1,61 @@
+#ifndef TPS_DATA_DATASET_H_
+#define TPS_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset_spec.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+/// One labelled example: a feature vector in the latent space plus its
+/// class label. Features stand in for the input embedding a real model
+/// would see.
+struct Example {
+  std::vector<double> features;
+  int label = 0;
+};
+
+/// A materialized (simulated) dataset: a spec, a latent domain vector, and
+/// generated labelled examples.
+///
+/// Example generation: each label has a prototype direction; an example of
+/// label y is normalize(w_domain * theta_d + w_label * proto_y + w_noise *
+/// noise). The label component dominates (class structure is salient, as in
+/// real embedding spaces); the domain component ties all examples of a
+/// dataset together; the noise term creates intra-class spread.
+class Dataset {
+ public:
+  /// Builds the dataset deterministically from its spec. Fails on invalid
+  /// specs (fewer than 2 labels, no examples, empty name).
+  static StatusOr<Dataset> Create(const DatasetSpec& spec);
+
+  const DatasetSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+  const std::vector<Example>& examples() const { return examples_; }
+  size_t size() const { return examples_.size(); }
+
+  /// The dataset's latent domain vector (unit norm).
+  const std::vector<double>& domain_vector() const { return domain_vector_; }
+
+  /// Prototype direction of label y (unit norm). y in [0, num_labels).
+  const std::vector<double>& label_prototype(int label) const;
+
+  /// Deterministic seed derived from the dataset name; used to key all of
+  /// the dataset's internal randomness.
+  uint64_t seed() const { return seed_; }
+
+ private:
+  Dataset() = default;
+
+  DatasetSpec spec_;
+  uint64_t seed_ = 0;
+  std::vector<double> domain_vector_;
+  std::vector<std::vector<double>> label_prototypes_;
+  std::vector<Example> examples_;
+};
+
+}  // namespace tps
+
+#endif  // TPS_DATA_DATASET_H_

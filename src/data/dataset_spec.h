@@ -1,0 +1,69 @@
+#ifndef TPS_DATA_DATASET_SPEC_H_
+#define TPS_DATA_DATASET_SPEC_H_
+
+#include <string>
+#include <vector>
+
+namespace tps {
+
+/// Machine-learning application domain, matching the paper's two tracks.
+enum class TaskDomain { kNLP, kCV };
+
+/// Whether a dataset belongs to the offline benchmark suite (used to build
+/// the performance matrix and mine convergence trends) or is a held-out
+/// target task the framework is evaluated on. The two sets are disjoint,
+/// as in the paper.
+enum class DatasetRole { kBenchmark, kTarget };
+
+std::string ToString(TaskDomain domain);
+std::string ToString(DatasetRole role);
+
+/// Static description of a (simulated) dataset.
+///
+/// `tags` name the domain concepts the dataset carries (e.g., {"nli",
+/// "english", "crowdsourced"}); they determine the dataset's latent domain
+/// vector, so datasets sharing tags are close in the latent space — the
+/// analogue of "MNLI and XNLI have overlapping domains" in the real world.
+struct DatasetSpec {
+  std::string name;
+  TaskDomain domain = TaskDomain::kNLP;
+  DatasetRole role = DatasetRole::kBenchmark;
+
+  /// Size of the classification label space (>= 2).
+  int num_labels = 2;
+
+  /// Intrinsic hardness in [0, 1]; raises the noise floor and lowers the
+  /// reachable accuracy ceiling.
+  double difficulty = 0.5;
+
+  /// Domain concept tags; drive the latent domain vector.
+  std::vector<std::string> tags;
+
+  /// Number of generated examples for proxy-score computation (the paper
+  /// computes LEEP on a few hundred target examples).
+  int num_examples = 256;
+
+  /// Accuracy of trivial majority-class prediction. Defaults to balanced
+  /// chance (1 / num_labels) when <= 0.
+  double chance_accuracy = -1.0;
+
+  /// Maximum accuracy reachable by an ideal model. Defaults to a value
+  /// derived from difficulty when <= 0.
+  double ceiling_accuracy = -1.0;
+
+  /// Balanced-chance floor or the explicit override.
+  double EffectiveChance() const {
+    if (chance_accuracy > 0.0) return chance_accuracy;
+    return 1.0 / static_cast<double>(num_labels);
+  }
+
+  /// Difficulty-derived ceiling or the explicit override.
+  double EffectiveCeiling() const {
+    if (ceiling_accuracy > 0.0) return ceiling_accuracy;
+    return 0.99 - 0.30 * difficulty;
+  }
+};
+
+}  // namespace tps
+
+#endif  // TPS_DATA_DATASET_SPEC_H_

@@ -1,0 +1,66 @@
+#include "data/latent.h"
+
+#include "matrix/vector_ops.h"
+#include "util/rng.h"
+
+namespace tps {
+namespace latent {
+
+uint64_t HashString(std::string_view text) {
+  // FNV-1a, 64-bit.
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : text) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint64_t CombineSeeds(uint64_t a, uint64_t b) {
+  // Boost-style hash combine, widened to 64 bits.
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+std::vector<double> TagVector(std::string_view tag) {
+  Rng rng(CombineSeeds(HashString("tps-tag"), HashString(tag)));
+  std::vector<double> v(kDims);
+  for (double& x : v) x = rng.Normal();
+  vec::NormalizeInPlace(v);
+  return v;
+}
+
+std::vector<double> MixTags(const std::vector<std::string>& tags,
+                            double noise_scale, uint64_t noise_seed) {
+  std::vector<double> mix(kDims, 0.0);
+  for (const std::string& tag : tags) {
+    const std::vector<double> tv = TagVector(tag);
+    for (size_t i = 0; i < kDims; ++i) mix[i] += tv[i];
+  }
+  vec::NormalizeInPlace(mix);  // Unit-norm tag direction (zero if no tags).
+
+  Rng rng(CombineSeeds(HashString("tps-mix-noise"), noise_seed));
+  std::vector<double> noise(kDims);
+  for (double& x : noise) x = rng.Normal();
+  vec::NormalizeInPlace(noise);
+
+  // Empty tag lists degenerate to a pure seeded random direction.
+  const double scale = tags.empty() ? 1.0 : noise_scale;
+  for (size_t i = 0; i < kDims; ++i) mix[i] += scale * noise[i];
+  vec::NormalizeInPlace(mix);
+  return mix;
+}
+
+std::vector<double> LabelVector(uint64_t entity_seed, int label) {
+  Rng rng(CombineSeeds(CombineSeeds(HashString("tps-label"), entity_seed),
+                       static_cast<uint64_t>(label) * 0x9e3779b97f4a7c15ULL +
+                           1));
+  std::vector<double> v(kDims);
+  for (double& x : v) x = rng.Normal();
+  vec::NormalizeInPlace(v);
+  return v;
+}
+
+double AffinityFromCosine(double cosine) { return 0.5 * (cosine + 1.0); }
+
+}  // namespace latent
+}  // namespace tps

@@ -1,0 +1,58 @@
+#ifndef TPS_DATA_LATENT_H_
+#define TPS_DATA_LATENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tps {
+
+/// The shared latent semantic space that the dataset and model simulators
+/// live in.
+///
+/// The paper's experiments run over real HuggingFace models and datasets
+/// whose transfer behaviour is driven by *domain overlap* (e.g., models
+/// fine-tuned on QQP transfer well to paraphrase tasks). We reproduce that
+/// driver with an explicit geometry: every domain concept ("nli",
+/// "sentiment", "finance", "natural-images", ...) is a deterministic unit
+/// vector, and datasets/models are (noisy) mixtures of the concepts they
+/// carry. Cosine similarity in this space plays the role the latent "domain
+/// distribution distance" plays in the real world.
+namespace latent {
+
+/// Dimensionality of the latent space. Large enough that unrelated concepts
+/// are near-orthogonal (random-pair cosine stddev 1/sqrt(kDims) = 0.125),
+/// small enough to keep simulation cheap.
+inline constexpr size_t kDims = 64;
+
+/// FNV-1a 64-bit hash; the deterministic seed source for all latent vectors.
+uint64_t HashString(std::string_view text);
+
+/// Combines two seeds into a new well-mixed seed.
+uint64_t CombineSeeds(uint64_t a, uint64_t b);
+
+/// Deterministic unit vector for a concept tag. The same tag always maps to
+/// the same direction, across processes and platforms.
+std::vector<double> TagVector(std::string_view tag);
+
+/// Unit-normalized noisy mixture of tag vectors:
+///   normalize(normalize(mean(TagVector(tag))) + noise_scale * u)
+/// where u is a seeded random *unit* vector, so `noise_scale` is the
+/// relative weight of idiosyncratic direction vs shared tag direction
+/// (two mixes of the same tags have cosine ~ 1/(1+noise_scale^2)).
+/// Empty tags yield a pure seeded random unit vector.
+std::vector<double> MixTags(const std::vector<std::string>& tags,
+                            double noise_scale, uint64_t noise_seed);
+
+/// Deterministic unit vector for label `label` of the entity seeded by
+/// `entity_seed` (dataset label prototypes, model source-label prototypes).
+std::vector<double> LabelVector(uint64_t entity_seed, int label);
+
+/// Cosine similarity mapped to [0, 1]: (cos + 1) / 2.
+double AffinityFromCosine(double cosine);
+
+}  // namespace latent
+}  // namespace tps
+
+#endif  // TPS_DATA_LATENT_H_

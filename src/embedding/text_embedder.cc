@@ -1,0 +1,54 @@
+#include "embedding/text_embedder.h"
+
+#include <cctype>
+#include <cmath>
+#include <unordered_map>
+
+#include "data/latent.h"
+#include "matrix/vector_ops.h"
+
+namespace tps {
+
+HashedTextEmbedder::HashedTextEmbedder(size_t dims) : dims_(dims) {}
+
+std::vector<std::string> HashedTextEmbedder::Tokenize(
+    const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<double> HashedTextEmbedder::Embed(const std::string& text) const {
+  std::vector<double> embedding(dims_, 0.0);
+  std::unordered_map<std::string, size_t> counts;
+  const std::vector<std::string> tokens = Tokenize(text);
+  for (const std::string& token : tokens) ++counts[token];
+  for (const auto& [token, count] : counts) {
+    const uint64_t hash = latent::HashString(token);
+    const size_t bucket = hash % dims_;
+    // Signed feature hashing reduces collision bias.
+    const double sign = (hash >> 63) ? 1.0 : -1.0;
+    // Sub-linear term weighting: repeated tokens contribute less per
+    // occurrence.
+    embedding[bucket] += sign * std::sqrt(static_cast<double>(count));
+  }
+  vec::NormalizeInPlace(embedding);
+  return embedding;
+}
+
+double HashedTextEmbedder::Similarity(const std::string& a,
+                                      const std::string& b) const {
+  return vec::CosineSimilarity(Embed(a), Embed(b));
+}
+
+}  // namespace tps

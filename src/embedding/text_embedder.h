@@ -1,0 +1,38 @@
+#ifndef TPS_EMBEDDING_TEXT_EMBEDDER_H_
+#define TPS_EMBEDDING_TEXT_EMBEDDER_H_
+
+#include <string>
+#include <vector>
+
+namespace tps {
+
+/// Hashed bag-of-words text embedder: the stand-in for SBERT in the
+/// text-based model-similarity baseline of Table I (see DESIGN.md).
+///
+/// Tokens are lower-cased, split on non-alphanumerics, hashed into
+/// `dims` buckets with a signed hash (feature hashing), weighted by
+/// 1/sqrt(token frequency within the document), and L2-normalized, so
+/// cosine similarity between embeddings reflects token overlap.
+class HashedTextEmbedder {
+ public:
+  explicit HashedTextEmbedder(size_t dims = 64);
+
+  /// Embeds one document into a unit-norm vector of `dims()` entries (the
+  /// zero vector for documents with no tokens).
+  std::vector<double> Embed(const std::string& text) const;
+
+  /// Cosine similarity between two documents' embeddings.
+  double Similarity(const std::string& a, const std::string& b) const;
+
+  size_t dims() const { return dims_; }
+
+  /// Lower-cased alphanumeric tokens of `text`, in order.
+  static std::vector<std::string> Tokenize(const std::string& text);
+
+ private:
+  size_t dims_;
+};
+
+}  // namespace tps
+
+#endif  // TPS_EMBEDDING_TEXT_EMBEDDER_H_

@@ -1,0 +1,90 @@
+#include "matrix/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tps {
+
+StatusOr<SymmetricEigenResult> SymmetricEigen(const Matrix& m,
+                                              double symmetry_tolerance) {
+  if (m.rows() != m.cols()) {
+    return Status::InvalidArgument("SymmetricEigen requires a square matrix");
+  }
+  const size_t n = m.rows();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (std::fabs(m.At(i, j) - m.At(j, i)) > symmetry_tolerance) {
+        return Status::InvalidArgument(
+            "SymmetricEigen requires a symmetric matrix");
+      }
+    }
+  }
+
+  Matrix a = m;                     // Working copy, diagonalized in place.
+  Matrix v = Matrix::Identity(n);   // Accumulated rotations.
+
+  const int kMaxSweeps = 100;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) off += a.At(i, j) * a.At(i, j);
+    }
+    if (off < 1e-24) break;
+
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a.At(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a.At(p, p);
+        const double aqq = a.At(q, q);
+        // Classic Jacobi rotation parameters.
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a.At(k, p);
+          const double akq = a.At(k, q);
+          a.At(k, p) = c * akp - s * akq;
+          a.At(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a.At(p, k);
+          const double aqk = a.At(q, k);
+          a.At(p, k) = c * apk - s * aqk;
+          a.At(q, k) = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v.At(k, p);
+          const double vkq = v.At(k, q);
+          v.At(k, p) = c * vkp - s * vkq;
+          v.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return a.At(x, x) > a.At(y, y);
+  });
+
+  SymmetricEigenResult result;
+  result.values.resize(n);
+  result.vectors = Matrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    result.values[j] = a.At(order[j], order[j]);
+    for (size_t i = 0; i < n; ++i) {
+      result.vectors.At(i, j) = v.At(i, order[j]);
+    }
+  }
+  return result;
+}
+
+}  // namespace tps

@@ -1,0 +1,30 @@
+#ifndef TPS_MATRIX_EIGEN_H_
+#define TPS_MATRIX_EIGEN_H_
+
+#include <vector>
+
+#include "matrix/matrix.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+/// Eigendecomposition of a real symmetric matrix.
+struct SymmetricEigenResult {
+  /// Eigenvalues in descending order.
+  std::vector<double> values;
+  /// Column j of `vectors` (as a row-major Matrix) is the unit eigenvector
+  /// for values[j].
+  Matrix vectors;
+};
+
+/// Cyclic Jacobi eigenvalue algorithm for symmetric matrices. Converges to
+/// machine precision for the small (<= a few hundred) matrices this library
+/// uses (LogME feature Grams, distance-matrix spectra in tests).
+///
+/// Fails if `m` is not square or not symmetric within `symmetry_tolerance`.
+StatusOr<SymmetricEigenResult> SymmetricEigen(
+    const Matrix& m, double symmetry_tolerance = 1e-9);
+
+}  // namespace tps
+
+#endif  // TPS_MATRIX_EIGEN_H_

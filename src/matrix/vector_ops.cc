@@ -1,0 +1,107 @@
+#include "matrix/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tps {
+namespace vec {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  TPS_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+double L1Norm(const std::vector<double>& a) {
+  double sum = 0.0;
+  for (double v : a) sum += std::fabs(v);
+  return sum;
+}
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  TPS_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  TPS_CHECK(a.size() == b.size());
+  const double na = Norm(a);
+  const double nb = Norm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  TPS_CHECK(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+std::vector<double> Subtract(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  TPS_CHECK(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<double> Scale(const std::vector<double>& a, double s) {
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+std::vector<double> AbsDiff(const std::vector<double>& a,
+                            const std::vector<double>& b) {
+  TPS_CHECK(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = std::fabs(a[i] - b[i]);
+  return out;
+}
+
+double MeanOfTopK(std::vector<double> values, size_t k) {
+  if (values.empty()) return 0.0;
+  k = std::clamp<size_t>(k, 1, values.size());
+  std::partial_sort(values.begin(),
+                    values.begin() + static_cast<ptrdiff_t>(k), values.end(),
+                    std::greater<double>());
+  double sum = 0.0;
+  for (size_t i = 0; i < k; ++i) sum += values[i];
+  return sum / static_cast<double>(k);
+}
+
+void NormalizeInPlace(std::vector<double>& a) {
+  const double norm = Norm(a);
+  if (norm == 0.0) return;
+  for (double& v : a) v /= norm;
+}
+
+std::vector<double> Softmax(const std::vector<double>& logits) {
+  if (logits.empty()) return {};
+  const double max_logit = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> out(logits.size());
+  double denom = 0.0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - max_logit);
+    denom += out[i];
+  }
+  for (double& v : out) v /= denom;
+  return out;
+}
+
+}  // namespace vec
+}  // namespace tps

@@ -1,0 +1,57 @@
+#ifndef TPS_MATRIX_VECTOR_OPS_H_
+#define TPS_MATRIX_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tps {
+
+/// Small dense vector kernels shared by the clustering, embedding and
+/// transferability modules. All pairwise functions require equal sizes
+/// (checked) unless documented otherwise.
+namespace vec {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean (L2) norm.
+double Norm(const std::vector<double>& a);
+
+double L1Norm(const std::vector<double>& a);
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// Cosine similarity in [-1, 1]; 0.0 if either vector has zero norm.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// a + b elementwise.
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// a - b elementwise.
+std::vector<double> Subtract(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+/// a * s elementwise.
+std::vector<double> Scale(const std::vector<double>& a, double s);
+
+/// Elementwise absolute differences |a[i] - b[i]|.
+std::vector<double> AbsDiff(const std::vector<double>& a,
+                            const std::vector<double>& b);
+
+/// Mean of the k largest entries of `values`. k is clamped to
+/// [1, values.size()]; returns 0.0 on empty input. Used by the paper's
+/// Eq. 1 model similarity (top-k largest accuracy differences).
+double MeanOfTopK(std::vector<double> values, size_t k);
+
+/// In-place scaling to unit L2 norm; no-op on a zero vector.
+void NormalizeInPlace(std::vector<double>& a);
+
+/// Softmax (numerically stabilized by max subtraction).
+std::vector<double> Softmax(const std::vector<double>& logits);
+
+}  // namespace vec
+}  // namespace tps
+
+#endif  // TPS_MATRIX_VECTOR_OPS_H_

@@ -1,0 +1,41 @@
+#include "model/model_card.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace tps {
+
+std::string GenerateModelCard(const ModelSpec& spec) {
+  std::ostringstream card;
+  card << "# " << spec.name << "\n\n";
+  card << "Architecture: " << spec.family << " ("
+       << strings::FormatDouble(spec.scale_millions, 0)
+       << "M parameters, " << ToString(spec.domain) << ").\n";
+  card << "Pre-training corpus:";
+  for (const std::string& tag : spec.pretrain_tags) card << " " << tag;
+  card << ".\n";
+  if (!spec.finetune_tags.empty()) {
+    card << "Fine-tuned on a downstream task covering:";
+    for (const std::string& tag : spec.finetune_tags) card << " " << tag;
+    card << ".\n";
+  } else {
+    card << "This checkpoint is the pre-trained base model without "
+            "task-specific fine-tuning.\n";
+  }
+  if (!spec.description.empty()) {
+    card << "\n" << spec.description << "\n";
+  }
+  // Name tokens carry lineage signal, as real model names do.
+  card << "\nTags:";
+  for (const std::string& token :
+       strings::Split(strings::ToLower(spec.name), '/')) {
+    for (const std::string& piece : strings::Split(token, '-')) {
+      if (!piece.empty()) card << " " << piece;
+    }
+  }
+  card << "\n";
+  return card.str();
+}
+
+}  // namespace tps

@@ -1,0 +1,24 @@
+#ifndef TPS_MODEL_MODEL_CARD_H_
+#define TPS_MODEL_MODEL_CARD_H_
+
+#include <string>
+
+#include "model/model_spec.h"
+
+namespace tps {
+
+/// Generates the free-text "model card" for a model, in the style of
+/// HuggingFace model cards (Appendix E of the paper): name, architecture,
+/// parameter count, pre-training corpus, fine-tuning task, description.
+///
+/// The text-based model-similarity baseline of Table I embeds this text
+/// (the paper uses SBERT; we use a hashed bag-of-words embedder, see
+/// src/embedding/). Cards deliberately carry *name-level* signal — two
+/// models fine-tuned on the same dataset mention it — but none of the
+/// training-performance signal the performance matrix carries, which is
+/// why the text baseline clusters worse.
+std::string GenerateModelCard(const ModelSpec& spec);
+
+}  // namespace tps
+
+#endif  // TPS_MODEL_MODEL_CARD_H_

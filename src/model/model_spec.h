@@ -1,0 +1,65 @@
+#ifndef TPS_MODEL_MODEL_SPEC_H_
+#define TPS_MODEL_MODEL_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset_spec.h"
+
+namespace tps {
+
+/// Static description of a (simulated) pre-trained model.
+///
+/// A model's transfer behaviour is driven by two latent quantities derived
+/// from this spec:
+///  - *capability*: overall representation quality (architecture family,
+///    parameter scale, training recipe), and
+///  - *domain affinity*: a latent-space vector mixed from the model's
+///    pre-training tags and (optionally) its fine-tuning dataset's tags.
+/// Models sharing a base family and fine-tune dataset therefore land close
+/// together in affinity space and produce near-identical performance
+/// vectors — which is exactly why the paper's clustering groups the
+/// `bert_ft_qqp-*` lineage into one cluster (Table II).
+struct ModelSpec {
+  /// Full repository-style name, e.g. "Jeevesh8/bert_ft_qqp-68".
+  std::string name;
+
+  TaskDomain domain = TaskDomain::kNLP;
+
+  /// Architecture family, e.g. "bert", "albert", "vit", "beit".
+  std::string family = "bert";
+
+  /// Parameter count in millions (documentation + model-card text; mildly
+  /// influences simulated load cost).
+  double scale_millions = 110.0;
+
+  /// Base representation quality in (0, 1). Per-model jitter is added
+  /// deterministically from the name at construction.
+  double capability = 0.6;
+
+  /// Domain concepts of the pre-training corpus, e.g. {"english", "books"}
+  /// or {"natural-images", "imagenet1k"}.
+  std::vector<std::string> pretrain_tags;
+
+  /// Domain concepts of the fine-tuning dataset; empty for pre-train-only
+  /// models.
+  std::vector<std::string> finetune_tags;
+
+  /// Weight of the fine-tune component in the affinity mixture. 0.5 for a
+  /// fully fine-tuned model; small (e.g. 0.15) for mostly-frozen
+  /// fine-tunes; ignored when finetune_tags is empty.
+  double finetune_strength = 0.5;
+
+  /// Size of the model's source label space (its classification head).
+  /// Pre-train-only models get a pseudo-label space (the paper applies LEEP
+  /// to them through their pre-training task head).
+  int num_source_labels = 16;
+
+  /// Free-text blurb used to generate the model card (text-based similarity
+  /// baseline of Table I).
+  std::string description;
+};
+
+}  // namespace tps
+
+#endif  // TPS_MODEL_MODEL_SPEC_H_

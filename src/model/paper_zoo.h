@@ -1,0 +1,32 @@
+#ifndef TPS_MODEL_PAPER_ZOO_H_
+#define TPS_MODEL_PAPER_ZOO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/model_spec.h"
+
+namespace tps {
+
+/// The paper's model repository (Appendix B, Table VIII): 40 NLP models and
+/// 30 CV models from HuggingFace, reconstructed as simulator specs.
+///
+/// Capabilities, pre-training corpora and fine-tuning lineages are assigned
+/// from each model's public identity (family, size, fine-tune dataset named
+/// in the model id). Lineage groups — e.g. the `bert_ft_qqp-*` family, the
+/// `init_bert_ft_qqp-*` family (trained from random init, hence much
+/// weaker), BEiT/ViT ImageNet-21k models — share tags and capability so the
+/// clustering structure of Table II emerges from the geometry rather than
+/// being hard-coded.
+std::vector<ModelSpec> NlpPaperZooSpecs();
+std::vector<ModelSpec> CvPaperZooSpecs();
+
+/// Generates a synthetic zoo of `count` models for scaling experiments:
+/// random family/capability/fine-tune-dataset combinations over the given
+/// domain's tag vocabulary, seeded deterministically.
+std::vector<ModelSpec> SyntheticZooSpecs(TaskDomain domain, size_t count,
+                                         uint64_t seed);
+
+}  // namespace tps
+
+#endif  // TPS_MODEL_PAPER_ZOO_H_

@@ -1,0 +1,53 @@
+#include "model/zoo.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace tps {
+
+StatusOr<ModelZoo> ModelZoo::Create(const std::vector<ModelSpec>& specs) {
+  ModelZoo zoo;
+  std::unordered_set<std::string> seen;
+  zoo.models_.reserve(specs.size());
+  for (const ModelSpec& spec : specs) {
+    if (!seen.insert(spec.name).second) {
+      return Status::AlreadyExists("duplicate model name: " + spec.name);
+    }
+    TPS_ASSIGN_OR_RETURN(PretrainedModel model, PretrainedModel::Create(spec));
+    zoo.models_.push_back(std::move(model));
+  }
+  return zoo;
+}
+
+const PretrainedModel& ModelZoo::model(size_t index) const {
+  TPS_CHECK(index < models_.size());
+  return models_[index];
+}
+
+StatusOr<size_t> ModelZoo::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < models_.size(); ++i) {
+    if (models_[i].name() == name) return i;
+  }
+  return Status::NotFound("model not found: " + name);
+}
+
+StatusOr<const PretrainedModel*> ModelZoo::Find(
+    const std::string& name) const {
+  TPS_ASSIGN_OR_RETURN(size_t index, IndexOf(name));
+  return &models_[index];
+}
+
+StatusOr<ModelZoo> ModelZoo::Subset(const std::vector<size_t>& indices) const {
+  ModelZoo subset;
+  subset.models_.reserve(indices.size());
+  for (size_t index : indices) {
+    if (index >= models_.size()) {
+      return Status::OutOfRange("model index out of range in Subset");
+    }
+    subset.models_.push_back(models_[index]);
+  }
+  return subset;
+}
+
+}  // namespace tps

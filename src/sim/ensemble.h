@@ -1,0 +1,58 @@
+#ifndef TPS_SIM_ENSEMBLE_H_
+#define TPS_SIM_ENSEMBLE_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "model/zoo.h"
+#include "sim/finetune_simulator.h"
+#include "sim/hyperparams.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+/// Majority-vote ensemble evaluation over fine-tuned members (the
+/// multi-source reuse direction the paper discusses via Palette [3] and
+/// the ensemble-selection works [59][60][61]).
+///
+/// Simulation model: each virtual test example carries a latent difficulty
+/// shared by all members (drawn from the target's seed), plus a
+/// member-specific component that shrinks as two members' affinity vectors
+/// get closer. A member answers an example correctly when its calibrated
+/// skill (derived from its simulated final accuracy on the target) clears
+/// the example's difficulty for it. This reproduces the two facts
+/// ensemble selection lives on: (a) ensembling correlated models ~ the
+/// best single model, and (b) ensembling accurate-but-diverse models beats
+/// the best single model.
+struct EnsembleResult {
+  /// Majority-vote accuracy of the ensemble.
+  double ensemble_accuracy = 0.0;
+  /// Final test accuracy of each member, aligned with the input order.
+  std::vector<double> member_accuracies;
+  /// Mean pairwise affinity cosine between members (1 = clones): the
+  /// diversity diagnostic.
+  double mean_member_similarity = 0.0;
+};
+
+struct EnsembleOptions {
+  /// Number of virtual test examples to vote over.
+  int num_examples = 4096;
+  /// Weight of the shared (all-members) difficulty component in [0, 1];
+  /// the member-specific remainder is further correlated between similar
+  /// members.
+  double shared_difficulty_weight = 0.55;
+  uint64_t seed = 1234;
+};
+
+/// Evaluates a majority-vote ensemble of `members` (zoo indices) fully
+/// fine-tuned on `target`. Fails on an empty member list, out-of-range
+/// indices, or domain mismatches. Ties (even splits) count as incorrect,
+/// the pessimistic convention.
+StatusOr<EnsembleResult> EvaluateEnsemble(
+    const ModelZoo& zoo, const std::vector<size_t>& members,
+    const Dataset& target, const FineTuneSimulator& simulator,
+    const Hyperparams& hp, const EnsembleOptions& options = EnsembleOptions());
+
+}  // namespace tps
+
+#endif  // TPS_SIM_ENSEMBLE_H_

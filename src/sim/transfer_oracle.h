@@ -1,0 +1,73 @@
+#ifndef TPS_SIM_TRANSFER_ORACLE_H_
+#define TPS_SIM_TRANSFER_ORACLE_H_
+
+#include "data/dataset.h"
+#include "model/pretrained_model.h"
+
+namespace tps {
+
+/// The latent transfer truth for one (model, dataset) pair.
+struct TransferTruth {
+  /// Cosine between model affinity and dataset domain vector, in [-1, 1].
+  double domain_cosine = 0.0;
+  /// Cosine mapped to [0, 1].
+  double alignment = 0.5;
+  /// Combined capability/alignment transfer score in [0, 1].
+  double transfer_score = 0.0;
+  /// Asymptotic fine-tuning accuracy (before per-run noise), within
+  /// [chance, ceiling] of the dataset.
+  double asymptotic_accuracy = 0.0;
+  /// Learning-curve convergence rate (per epoch, at the reference learning
+  /// rate 3e-5). Higher-scoring pairs converge faster.
+  double convergence_rate = 1.0;
+  /// Per-epoch late-training degradation coefficient at the reference
+  /// learning rate (overfitting); scaled up/down with the actual rate.
+  double overfit_coefficient = 0.0;
+};
+
+/// Tunables of the accuracy law. Defaults are calibrated so the paper-zoo
+/// accuracy distributions match the shapes in Fig. 1 (few strong models,
+/// long mediocre tail) and the top-model accuracies approach each target's
+/// ceiling.
+struct OracleParams {
+  /// Weight of model capability in the transfer score.
+  double capability_weight = 0.5;
+  /// Weight of domain alignment in the transfer score.
+  double alignment_weight = 0.7;
+  /// Sigmoid slope mapping transfer score to the [chance, ceiling] range.
+  double sigmoid_slope = 11.0;
+  /// Sigmoid midpoint.
+  double sigmoid_mid = 0.66;
+  /// Std-dev of the per-(model, dataset) accuracy idiosyncrasy.
+  double pair_noise_stddev = 0.015;
+  /// Std-dev of the per-(architecture family, dataset) accuracy
+  /// idiosyncrasy, shared by all models of a family: the architecture x
+  /// dataset-type interaction that makes PoolFormers transfer alike and
+  /// distinguishes family groups in the paper's Table II clustering.
+  double family_noise_stddev = 0.05;
+};
+
+/// Deterministic ground truth of the simulation: what accuracy a model
+/// *would* reach if fine-tuned to convergence on a dataset, and how its
+/// learning curve is shaped. This is the simulator-side stand-in for "run
+/// the GPU job and look" — the paper's algorithms never read it directly;
+/// only the fine-tune simulator (to synthesize curves) and the evaluation
+/// harnesses (to rank methods against the truth) do.
+class TransferOracle {
+ public:
+  explicit TransferOracle(OracleParams params = OracleParams());
+
+  /// Evaluates the latent truth for the pair. Deterministic in
+  /// (model name, dataset name, params).
+  TransferTruth Evaluate(const PretrainedModel& model,
+                         const Dataset& dataset) const;
+
+  const OracleParams& params() const { return params_; }
+
+ private:
+  OracleParams params_;
+};
+
+}  // namespace tps
+
+#endif  // TPS_SIM_TRANSFER_ORACLE_H_

@@ -1,0 +1,158 @@
+#include "store/kv_store.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace tps {
+
+namespace {
+
+constexpr char kOpPut = 'P';
+constexpr char kOpDelete = 'D';
+
+/// Mutation payload: [op][u32 key length LE][key][value...].
+std::string EncodeMutation(char op, const std::string& key,
+                           const std::string& value) {
+  std::string payload;
+  payload.reserve(5 + key.size() + value.size());
+  payload.push_back(op);
+  const uint32_t key_length = static_cast<uint32_t>(key.size());
+  payload.push_back(static_cast<char>(key_length & 0xFF));
+  payload.push_back(static_cast<char>((key_length >> 8) & 0xFF));
+  payload.push_back(static_cast<char>((key_length >> 16) & 0xFF));
+  payload.push_back(static_cast<char>((key_length >> 24) & 0xFF));
+  payload += key;
+  payload += value;
+  return payload;
+}
+
+Status DecodeMutation(const std::string& payload, char* op,
+                      std::string* key, std::string* value) {
+  if (payload.size() < 5) {
+    return Status::Internal("mutation record too short");
+  }
+  *op = payload[0];
+  const uint32_t key_length =
+      static_cast<uint32_t>(static_cast<uint8_t>(payload[1])) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(payload[2])) << 8) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(payload[3])) << 16) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(payload[4])) << 24);
+  if (payload.size() < 5 + key_length) {
+    return Status::Internal("mutation record key overruns payload");
+  }
+  *key = payload.substr(5, key_length);
+  *value = payload.substr(5 + key_length);
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<KvStore> KvStore::Open(const std::string& path) {
+  KvStore store(path);
+
+  // Replay an existing log; a missing file just means a fresh store.
+  std::ifstream probe(path, std::ios::binary);
+  if (probe.good()) {
+    probe.close();
+    TPS_ASSIGN_OR_RETURN(RecordLogContents contents, ReadRecordLog(path));
+    for (const std::string& record : contents.records) {
+      char op = 0;
+      std::string key, value;
+      TPS_RETURN_NOT_OK(DecodeMutation(record, &op, &key, &value));
+      if (op == kOpPut) {
+        store.table_[key] = std::move(value);
+      } else if (op == kOpDelete) {
+        store.table_.erase(key);
+      } else {
+        return Status::Internal("unknown mutation op in log");
+      }
+      ++store.log_records_;
+    }
+    // A torn tail is recovered from silently: the table holds everything
+    // that was durably written.
+  }
+
+  TPS_ASSIGN_OR_RETURN(RecordLogWriter writer, RecordLogWriter::Open(path));
+  store.log_ = std::make_unique<RecordLogWriter>(std::move(writer));
+  return store;
+}
+
+Status KvStore::AppendMutation(char op, const std::string& key,
+                               const std::string& value) {
+  TPS_RETURN_NOT_OK(log_->Append(EncodeMutation(op, key, value)));
+  ++log_records_;
+  return Status::OK();
+}
+
+Status KvStore::Put(const std::string& key, const std::string& value) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  TPS_RETURN_NOT_OK(AppendMutation(kOpPut, key, value));
+  table_[key] = value;
+  return Status::OK();
+}
+
+StatusOr<std::string> KvStore::Get(const std::string& key) const {
+  auto it = table_.find(key);
+  if (it == table_.end()) return Status::NotFound("key not found: " + key);
+  return it->second;
+}
+
+Status KvStore::Delete(const std::string& key) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  if (table_.find(key) == table_.end()) return Status::OK();
+  TPS_RETURN_NOT_OK(AppendMutation(kOpDelete, key, ""));
+  table_.erase(key);
+  return Status::OK();
+}
+
+bool KvStore::Contains(const std::string& key) const {
+  return table_.find(key) != table_.end();
+}
+
+std::vector<std::string> KvStore::ScanPrefix(
+    const std::string& prefix) const {
+  std::vector<std::string> keys;
+  for (auto it = table_.lower_bound(prefix); it != table_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+Status KvStore::Compact() {
+  const std::string temp_path = path_ + ".compact";
+  {
+    // Truncate any stale temp file, then write all live entries.
+    std::ofstream truncate(temp_path,
+                           std::ios::binary | std::ios::trunc);
+    if (!truncate) {
+      return Status::IOError("cannot create compaction file: " + temp_path);
+    }
+  }
+  TPS_ASSIGN_OR_RETURN(RecordLogWriter writer,
+                       RecordLogWriter::Open(temp_path));
+  for (const auto& [key, value] : table_) {
+    TPS_RETURN_NOT_OK(writer.Append(EncodeMutation(kOpPut, key, value)));
+  }
+  TPS_RETURN_NOT_OK(writer.Flush());
+
+  // Atomic swap, then reopen the append handle on the new file.
+  log_.reset();
+  if (std::rename(temp_path.c_str(), path_.c_str()) != 0) {
+    // Keep the store usable on the old log rather than leaving a null
+    // append handle behind.
+    auto reopened_old = RecordLogWriter::Open(path_);
+    if (reopened_old.ok()) {
+      log_ = std::make_unique<RecordLogWriter>(
+          std::move(reopened_old).value());
+    }
+    return Status::IOError("compaction rename failed: " + path_);
+  }
+  TPS_ASSIGN_OR_RETURN(RecordLogWriter reopened,
+                       RecordLogWriter::Open(path_));
+  log_ = std::make_unique<RecordLogWriter>(std::move(reopened));
+  log_records_ = table_.size();
+  return Status::OK();
+}
+
+}  // namespace tps

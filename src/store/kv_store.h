@@ -1,0 +1,79 @@
+#ifndef TPS_STORE_KV_STORE_H_
+#define TPS_STORE_KV_STORE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/record_log.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+/// Log-structured key-value store: the persistence layer of the model
+/// store (the paper's future-work item 3 — an OLML-style system that
+/// "stores and maintains the pre-trained models and datasets").
+///
+/// Design (a deliberately small cousin of the RocksDB WAL+memtable pair):
+///  - every mutation is appended to a checksummed record log;
+///  - the full key space lives in an in-memory ordered map;
+///  - Open() rebuilds the map by replaying the log, stopping cleanly at a
+///    torn tail (crash recovery);
+///  - Compact() rewrites the log with only live entries and atomically
+///    swaps it in, reclaiming space from overwrites and deletes.
+///
+/// Keys and values are arbitrary byte strings (values may contain \0).
+/// Single-threaded by design; callers serialize access.
+class KvStore {
+ public:
+  /// Opens (or creates) the store at `path`, replaying the existing log.
+  static StatusOr<KvStore> Open(const std::string& path);
+
+  KvStore(KvStore&&) = default;
+  KvStore& operator=(KvStore&&) = default;
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  /// Inserts or overwrites. Keys must be non-empty.
+  Status Put(const std::string& key, const std::string& value);
+
+  /// Value for `key`, or NotFound.
+  StatusOr<std::string> Get(const std::string& key) const;
+
+  /// Removes `key`; idempotent (deleting an absent key is OK).
+  Status Delete(const std::string& key);
+
+  bool Contains(const std::string& key) const;
+
+  /// All keys with the given prefix, in lexicographic order.
+  std::vector<std::string> ScanPrefix(const std::string& prefix) const;
+
+  /// Number of live keys.
+  size_t size() const { return table_.size(); }
+
+  /// Log records written since Open (live + dead); drives compaction
+  /// policy.
+  size_t log_records() const { return log_records_; }
+
+  /// Rewrites the log with only live entries (atomic rename swap).
+  Status Compact();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit KvStore(std::string path) : path_(std::move(path)) {}
+
+  Status AppendMutation(char op, const std::string& key,
+                        const std::string& value);
+
+  std::string path_;
+  std::map<std::string, std::string> table_;
+  std::unique_ptr<RecordLogWriter> log_;
+  size_t log_records_ = 0;
+};
+
+}  // namespace tps
+
+#endif  // TPS_STORE_KV_STORE_H_

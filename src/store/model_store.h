@@ -1,0 +1,72 @@
+#ifndef TPS_STORE_MODEL_STORE_H_
+#define TPS_STORE_MODEL_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/model_clusterer.h"
+#include "core/performance_matrix.h"
+#include "data/dataset_spec.h"
+#include "model/model_spec.h"
+#include "store/kv_store.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+/// The model-management layer the paper sketches as future work ("a data
+/// management system which stores and maintains the pre-trained models and
+/// datasets, then supports automatically selecting models"): a typed
+/// catalog of model specs, dataset specs and offline selection artifacts
+/// (performance matrices, clusterings), persisted in one crash-safe
+/// KvStore log.
+///
+/// Key layout (prefix scans give the listings):
+///   model/<name>      -> serialized ModelSpec
+///   dataset/<name>    -> serialized DatasetSpec
+///   matrix/<id>       -> serialized PerformanceMatrix
+///   clustering/<id>   -> serialized ModelClustering
+class ModelStore {
+ public:
+  /// Opens (or creates) the store backed by the log file at `path`.
+  static StatusOr<ModelStore> Open(const std::string& path);
+
+  ModelStore(ModelStore&&) = default;
+  ModelStore& operator=(ModelStore&&) = default;
+
+  // --- Model specs. ---
+  Status PutModelSpec(const ModelSpec& spec);
+  StatusOr<ModelSpec> GetModelSpec(const std::string& name) const;
+  Status DeleteModelSpec(const std::string& name);
+  /// Registered model names, sorted.
+  std::vector<std::string> ListModels() const;
+
+  // --- Dataset specs. ---
+  Status PutDatasetSpec(const DatasetSpec& spec);
+  StatusOr<DatasetSpec> GetDatasetSpec(const std::string& name) const;
+  Status DeleteDatasetSpec(const std::string& name);
+  std::vector<std::string> ListDatasets() const;
+
+  // --- Offline selection artifacts. ---
+  Status PutPerformanceMatrix(const std::string& id,
+                              const PerformanceMatrix& matrix);
+  StatusOr<PerformanceMatrix> GetPerformanceMatrix(
+      const std::string& id) const;
+  Status PutClustering(const std::string& id,
+                       const ModelClustering& clustering);
+  StatusOr<ModelClustering> GetClustering(const std::string& id) const;
+
+  /// Reclaims space from overwrites/deletes.
+  Status Compact();
+
+  /// Total live entries across all namespaces.
+  size_t size() const { return kv_.size(); }
+
+ private:
+  explicit ModelStore(KvStore kv) : kv_(std::move(kv)) {}
+
+  KvStore kv_;
+};
+
+}  // namespace tps
+
+#endif  // TPS_STORE_MODEL_STORE_H_

@@ -1,0 +1,98 @@
+#include "store/record_log.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace tps {
+
+namespace {
+
+void PutU32(char* buffer, uint32_t value) {
+  buffer[0] = static_cast<char>(value & 0xFF);
+  buffer[1] = static_cast<char>((value >> 8) & 0xFF);
+  buffer[2] = static_cast<char>((value >> 16) & 0xFF);
+  buffer[3] = static_cast<char>((value >> 24) & 0xFF);
+}
+
+uint32_t GetU32(const char* buffer) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(buffer[0])) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(buffer[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(buffer[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(buffer[3])) << 24);
+}
+
+}  // namespace
+
+StatusOr<RecordLogWriter> RecordLogWriter::Open(const std::string& path) {
+  RecordLogWriter writer(path);
+  writer.out_.open(path, std::ios::binary | std::ios::app);
+  if (!writer.out_) {
+    return Status::IOError("cannot open record log for append: " + path);
+  }
+  return writer;
+}
+
+Status RecordLogWriter::Append(std::string_view payload) {
+  if (payload.size() > 0x7FFFFFFFu) {
+    return Status::InvalidArgument("record payload too large");
+  }
+  char header[8];
+  PutU32(header + 4, static_cast<uint32_t>(payload.size()));
+  uint32_t crc = Crc32Init();
+  crc = Crc32Update(crc, header + 4, 4);
+  crc = Crc32Update(crc, payload.data(), payload.size());
+  PutU32(header, Crc32Finish(crc));
+
+  out_.write(header, sizeof(header));
+  out_.write(payload.data(),
+             static_cast<std::streamsize>(payload.size()));
+  out_.flush();
+  if (!out_) return Status::IOError("append failed: " + path_);
+  return Status::OK();
+}
+
+Status RecordLogWriter::Flush() {
+  out_.flush();
+  if (!out_) return Status::IOError("flush failed: " + path_);
+  return Status::OK();
+}
+
+StatusOr<RecordLogContents> ReadRecordLog(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open record log: " + path);
+
+  RecordLogContents contents;
+  while (true) {
+    char header[8];
+    in.read(header, sizeof(header));
+    if (in.gcount() == 0 && in.eof()) break;  // Clean end of log.
+    if (in.gcount() < static_cast<std::streamsize>(sizeof(header))) {
+      contents.truncated_tail = true;  // Torn header.
+      break;
+    }
+    const uint32_t expected_crc = GetU32(header);
+    const uint32_t length = GetU32(header + 4);
+    if (length > 0x7FFFFFFFu) {
+      contents.truncated_tail = true;  // Corrupt length.
+      break;
+    }
+    std::string payload(length, '\0');
+    in.read(payload.data(), static_cast<std::streamsize>(length));
+    if (in.gcount() < static_cast<std::streamsize>(length)) {
+      contents.truncated_tail = true;  // Torn payload.
+      break;
+    }
+    uint32_t crc = Crc32Init();
+    crc = Crc32Update(crc, header + 4, 4);
+    crc = Crc32Update(crc, payload.data(), payload.size());
+    if (Crc32Finish(crc) != expected_crc) {
+      contents.truncated_tail = true;  // Bit rot.
+      break;
+    }
+    contents.records.push_back(std::move(payload));
+  }
+  return contents;
+}
+
+}  // namespace tps

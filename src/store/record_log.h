@@ -1,0 +1,60 @@
+#ifndef TPS_STORE_RECORD_LOG_H_
+#define TPS_STORE_RECORD_LOG_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace tps {
+
+/// Append-only record log: the durability primitive under the key-value
+/// store, in the spirit of RocksDB's WAL format.
+///
+/// On-disk record layout (little-endian):
+///   [u32 crc] [u32 length] [length bytes payload]
+/// where crc covers the length field and the payload. Torn or corrupt
+/// tails are detected on read and reported (the reader returns the records
+/// up to the corruption plus a flag).
+class RecordLogWriter {
+ public:
+  /// Opens `path` for appending, creating it if absent.
+  static StatusOr<RecordLogWriter> Open(const std::string& path);
+
+  RecordLogWriter(RecordLogWriter&&) = default;
+  RecordLogWriter& operator=(RecordLogWriter&&) = default;
+  RecordLogWriter(const RecordLogWriter&) = delete;
+  RecordLogWriter& operator=(const RecordLogWriter&) = delete;
+
+  /// Appends one record and flushes it to the OS.
+  Status Append(std::string_view payload);
+
+  /// Flushes buffered writes.
+  Status Flush();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit RecordLogWriter(std::string path) : path_(std::move(path)) {}
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+/// Result of reading a log file.
+struct RecordLogContents {
+  std::vector<std::string> records;
+  /// True when the file ended in a torn or corrupt record; `records` holds
+  /// everything before it (standard crash-recovery semantics).
+  bool truncated_tail = false;
+};
+
+/// Reads all records of a log file. A missing file is an IOError; an empty
+/// file yields zero records.
+StatusOr<RecordLogContents> ReadRecordLog(const std::string& path);
+
+}  // namespace tps
+
+#endif  // TPS_STORE_RECORD_LOG_H_

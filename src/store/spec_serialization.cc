@@ -1,0 +1,209 @@
+#include "store/spec_serialization.h"
+
+#include <map>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace tps {
+
+namespace {
+
+Status CheckClean(const std::string& value, const std::string& what) {
+  if (value.find('\t') != std::string::npos ||
+      value.find('\n') != std::string::npos) {
+    return Status::InvalidArgument(what + " must not contain tabs/newlines");
+  }
+  return Status::OK();
+}
+
+Status AppendField(std::ostringstream& out, const std::string& name,
+                   const std::string& value) {
+  TPS_RETURN_NOT_OK(CheckClean(value, "field " + name));
+  out << name << "\t" << value << "\n";
+  return Status::OK();
+}
+
+Status AppendTags(std::ostringstream& out, const std::string& name,
+                  const std::vector<std::string>& tags) {
+  for (const std::string& tag : tags) {
+    TPS_RETURN_NOT_OK(CheckClean(tag, "tag in " + name));
+  }
+  out << name;
+  for (const std::string& tag : tags) out << "\t" << tag;
+  out << "\n";
+  return Status::OK();
+}
+
+/// Parses the line-oriented format into field -> token-list.
+StatusOr<std::map<std::string, std::vector<std::string>>> ParseFields(
+    const std::string& text) {
+  std::map<std::string, std::vector<std::string>> fields;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> parts = strings::Split(line, '\t');
+    if (parts.empty() || parts[0].empty()) {
+      return Status::InvalidArgument("malformed spec line: " + line);
+    }
+    const std::string name = parts[0];
+    parts.erase(parts.begin());
+    fields[name] = std::move(parts);
+  }
+  return fields;
+}
+
+StatusOr<std::string> SingleValue(
+    const std::map<std::string, std::vector<std::string>>& fields,
+    const std::string& name) {
+  auto it = fields.find(name);
+  if (it == fields.end() || it->second.size() != 1) {
+    return Status::InvalidArgument("missing or malformed field: " + name);
+  }
+  return it->second[0];
+}
+
+StatusOr<double> DoubleValue(
+    const std::map<std::string, std::vector<std::string>>& fields,
+    const std::string& name) {
+  TPS_ASSIGN_OR_RETURN(std::string raw, SingleValue(fields, name));
+  char* end = nullptr;
+  const double value = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0') {
+    return Status::InvalidArgument("field " + name + " is not a number");
+  }
+  return value;
+}
+
+StatusOr<TaskDomain> DomainValue(
+    const std::map<std::string, std::vector<std::string>>& fields) {
+  TPS_ASSIGN_OR_RETURN(std::string raw, SingleValue(fields, "domain"));
+  if (raw == "NLP") return TaskDomain::kNLP;
+  if (raw == "CV") return TaskDomain::kCV;
+  return Status::InvalidArgument("unknown domain: " + raw);
+}
+
+std::vector<std::string> TagsValue(
+    const std::map<std::string, std::vector<std::string>>& fields,
+    const std::string& name) {
+  auto it = fields.find(name);
+  if (it == fields.end()) return {};
+  std::vector<std::string> tags = it->second;
+  // A lone empty token means "no tags".
+  if (tags.size() == 1 && tags[0].empty()) tags.clear();
+  return tags;
+}
+
+}  // namespace
+
+StatusOr<std::string> SerializeModelSpec(const ModelSpec& spec) {
+  std::ostringstream out;
+  out << "tps-model-spec v1\n";
+  TPS_RETURN_NOT_OK(AppendField(out, "name", spec.name));
+  TPS_RETURN_NOT_OK(AppendField(out, "domain", ToString(spec.domain)));
+  TPS_RETURN_NOT_OK(AppendField(out, "family", spec.family));
+  TPS_RETURN_NOT_OK(AppendField(
+      out, "scale_millions", strings::Format("%.17g", spec.scale_millions)));
+  TPS_RETURN_NOT_OK(AppendField(
+      out, "capability", strings::Format("%.17g", spec.capability)));
+  TPS_RETURN_NOT_OK(AppendTags(out, "pretrain_tags", spec.pretrain_tags));
+  TPS_RETURN_NOT_OK(AppendTags(out, "finetune_tags", spec.finetune_tags));
+  TPS_RETURN_NOT_OK(AppendField(
+      out, "finetune_strength",
+      strings::Format("%.17g", spec.finetune_strength)));
+  TPS_RETURN_NOT_OK(AppendField(out, "num_source_labels",
+                                std::to_string(spec.num_source_labels)));
+  TPS_RETURN_NOT_OK(AppendField(out, "description", spec.description));
+  return out.str();
+}
+
+StatusOr<ModelSpec> DeserializeModelSpec(const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  std::getline(in, header);
+  if (header != "tps-model-spec v1") {
+    return Status::InvalidArgument("bad model-spec header");
+  }
+  TPS_ASSIGN_OR_RETURN(auto fields,
+                       ParseFields(text.substr(header.size() + 1)));
+  ModelSpec spec;
+  TPS_ASSIGN_OR_RETURN(spec.name, SingleValue(fields, "name"));
+  TPS_ASSIGN_OR_RETURN(spec.domain, DomainValue(fields));
+  TPS_ASSIGN_OR_RETURN(spec.family, SingleValue(fields, "family"));
+  TPS_ASSIGN_OR_RETURN(spec.scale_millions,
+                       DoubleValue(fields, "scale_millions"));
+  TPS_ASSIGN_OR_RETURN(spec.capability, DoubleValue(fields, "capability"));
+  spec.pretrain_tags = TagsValue(fields, "pretrain_tags");
+  spec.finetune_tags = TagsValue(fields, "finetune_tags");
+  TPS_ASSIGN_OR_RETURN(spec.finetune_strength,
+                       DoubleValue(fields, "finetune_strength"));
+  TPS_ASSIGN_OR_RETURN(double labels,
+                       DoubleValue(fields, "num_source_labels"));
+  spec.num_source_labels = static_cast<int>(labels);
+  // description may legitimately be empty; SingleValue rejects that, so
+  // read it leniently.
+  auto it = fields.find("description");
+  spec.description = (it != fields.end() && !it->second.empty())
+                         ? it->second[0]
+                         : "";
+  return spec;
+}
+
+StatusOr<std::string> SerializeDatasetSpec(const DatasetSpec& spec) {
+  std::ostringstream out;
+  out << "tps-dataset-spec v1\n";
+  TPS_RETURN_NOT_OK(AppendField(out, "name", spec.name));
+  TPS_RETURN_NOT_OK(AppendField(out, "domain", ToString(spec.domain)));
+  TPS_RETURN_NOT_OK(AppendField(out, "role", ToString(spec.role)));
+  TPS_RETURN_NOT_OK(
+      AppendField(out, "num_labels", std::to_string(spec.num_labels)));
+  TPS_RETURN_NOT_OK(AppendField(
+      out, "difficulty", strings::Format("%.17g", spec.difficulty)));
+  TPS_RETURN_NOT_OK(AppendTags(out, "tags", spec.tags));
+  TPS_RETURN_NOT_OK(AppendField(out, "num_examples",
+                                std::to_string(spec.num_examples)));
+  TPS_RETURN_NOT_OK(AppendField(
+      out, "chance_accuracy",
+      strings::Format("%.17g", spec.chance_accuracy)));
+  TPS_RETURN_NOT_OK(AppendField(
+      out, "ceiling_accuracy",
+      strings::Format("%.17g", spec.ceiling_accuracy)));
+  return out.str();
+}
+
+StatusOr<DatasetSpec> DeserializeDatasetSpec(const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  std::getline(in, header);
+  if (header != "tps-dataset-spec v1") {
+    return Status::InvalidArgument("bad dataset-spec header");
+  }
+  TPS_ASSIGN_OR_RETURN(auto fields,
+                       ParseFields(text.substr(header.size() + 1)));
+  DatasetSpec spec;
+  TPS_ASSIGN_OR_RETURN(spec.name, SingleValue(fields, "name"));
+  TPS_ASSIGN_OR_RETURN(spec.domain, DomainValue(fields));
+  TPS_ASSIGN_OR_RETURN(std::string role, SingleValue(fields, "role"));
+  if (role == "benchmark") {
+    spec.role = DatasetRole::kBenchmark;
+  } else if (role == "target") {
+    spec.role = DatasetRole::kTarget;
+  } else {
+    return Status::InvalidArgument("unknown role: " + role);
+  }
+  TPS_ASSIGN_OR_RETURN(double labels, DoubleValue(fields, "num_labels"));
+  spec.num_labels = static_cast<int>(labels);
+  TPS_ASSIGN_OR_RETURN(spec.difficulty, DoubleValue(fields, "difficulty"));
+  spec.tags = TagsValue(fields, "tags");
+  TPS_ASSIGN_OR_RETURN(double examples,
+                       DoubleValue(fields, "num_examples"));
+  spec.num_examples = static_cast<int>(examples);
+  TPS_ASSIGN_OR_RETURN(spec.chance_accuracy,
+                       DoubleValue(fields, "chance_accuracy"));
+  TPS_ASSIGN_OR_RETURN(spec.ceiling_accuracy,
+                       DoubleValue(fields, "ceiling_accuracy"));
+  return spec;
+}
+
+}  // namespace tps

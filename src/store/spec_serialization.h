@@ -1,0 +1,24 @@
+#ifndef TPS_STORE_SPEC_SERIALIZATION_H_
+#define TPS_STORE_SPEC_SERIALIZATION_H_
+
+#include <string>
+
+#include "data/dataset_spec.h"
+#include "model/model_spec.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+/// Line-oriented `field<TAB>value` serialization for the registry specs
+/// the model store keeps. Tags are tab-joined on one line. Field names and
+/// values must not contain tabs or newlines (validated on write).
+
+StatusOr<std::string> SerializeModelSpec(const ModelSpec& spec);
+StatusOr<ModelSpec> DeserializeModelSpec(const std::string& text);
+
+StatusOr<std::string> SerializeDatasetSpec(const DatasetSpec& spec);
+StatusOr<DatasetSpec> DeserializeDatasetSpec(const std::string& text);
+
+}  // namespace tps
+
+#endif  // TPS_STORE_SPEC_SERIALIZATION_H_

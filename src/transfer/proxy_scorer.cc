@@ -1,0 +1,36 @@
+#include "transfer/proxy_scorer.h"
+
+#include <algorithm>
+
+#include "transfer/knn_proxy.h"
+#include "transfer/leep.h"
+#include "transfer/logme.h"
+#include "transfer/nce.h"
+
+namespace tps {
+
+StatusOr<std::unique_ptr<ProxyScorer>> MakeProxyScorer(
+    const std::string& name) {
+  if (name == "leep") return std::unique_ptr<ProxyScorer>(new LeepScorer());
+  if (name == "nce") return std::unique_ptr<ProxyScorer>(new NceScorer());
+  if (name == "logme") return std::unique_ptr<ProxyScorer>(new LogMeScorer());
+  if (name == "knn") return std::unique_ptr<ProxyScorer>(new KnnScorer());
+  return Status::InvalidArgument("unknown proxy scorer: " + name);
+}
+
+std::vector<double> MinMaxNormalize(const std::vector<double>& scores) {
+  if (scores.empty()) return {};
+  const double lo = *std::min_element(scores.begin(), scores.end());
+  const double hi = *std::max_element(scores.begin(), scores.end());
+  std::vector<double> out(scores.size());
+  if (hi <= lo) {
+    std::fill(out.begin(), out.end(), 0.5);
+    return out;
+  }
+  for (size_t i = 0; i < scores.size(); ++i) {
+    out[i] = (scores[i] - lo) / (hi - lo);
+  }
+  return out;
+}
+
+}  // namespace tps

@@ -1,0 +1,45 @@
+#ifndef TPS_TRANSFER_PROXY_SCORER_H_
+#define TPS_TRANSFER_PROXY_SCORER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "model/pretrained_model.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+/// A light-weight transferability proxy: predicts how well `model` would
+/// perform after fine-tuning on `target`, *without* fine-tuning. Scores of
+/// different models on the same target are comparable (higher is better);
+/// scores across targets are not.
+///
+/// The paper uses LEEP in the coarse-recall phase and cites NCE, kNN and
+/// LogME as interchangeable alternates; all four are implemented.
+class ProxyScorer {
+ public:
+  virtual ~ProxyScorer() = default;
+
+  /// Stable scorer identifier ("leep", "nce", "logme", "knn").
+  virtual std::string name() const = 0;
+
+  /// Computes the proxy score. Fails if the model and dataset domains
+  /// differ.
+  virtual StatusOr<double> Score(const PretrainedModel& model,
+                                 const Dataset& target) const = 0;
+};
+
+/// Constructs a scorer by name; InvalidArgument for unknown names.
+StatusOr<std::unique_ptr<ProxyScorer>> MakeProxyScorer(
+    const std::string& name);
+
+/// Min-max normalizes scores to [0, 1] (the paper normalizes LEEP before
+/// combining it with the prior accuracy in the recall score). A constant
+/// vector maps to all 0.5.
+std::vector<double> MinMaxNormalize(const std::vector<double>& scores);
+
+}  // namespace tps
+
+#endif  // TPS_TRANSFER_PROXY_SCORER_H_

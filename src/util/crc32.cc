@@ -1,0 +1,46 @@
+#include "util/crc32.h"
+
+namespace tps {
+
+namespace {
+
+/// Lazily built 256-entry lookup table for the reflected polynomial.
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t entries[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      entries[i] = crc;
+    }
+    return entries;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+
+uint32_t Crc32Update(uint32_t state, const void* data, size_t length) {
+  const uint32_t* table = Crc32Table();
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < length; ++i) {
+    state = (state >> 8) ^ table[(state ^ bytes[i]) & 0xFFu];
+  }
+  return state;
+}
+
+uint32_t Crc32Finish(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+uint32_t Crc32(const void* data, size_t length) {
+  return Crc32Finish(Crc32Update(Crc32Init(), data, length));
+}
+
+uint32_t Crc32(std::string_view data) {
+  return Crc32(data.data(), data.size());
+}
+
+}  // namespace tps

@@ -1,0 +1,59 @@
+#include "util/csv_writer.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace tps {
+
+namespace {
+
+std::string EscapeCell(const std::string& cell) {
+  const bool needs_quoting =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+void EmitRow(std::ostringstream& os, const std::vector<std::string>& row) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) os << ",";
+    os << EscapeCell(row[i]);
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::ToString() const {
+  std::ostringstream os;
+  EmitRow(os, header_);
+  for (const auto& row : rows_) EmitRow(os, row);
+  return os.str();
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open file for writing: " + path);
+  }
+  out << ToString();
+  if (!out) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace tps

@@ -1,0 +1,36 @@
+#ifndef TPS_UTIL_CSV_WRITER_H_
+#define TPS_UTIL_CSV_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tps {
+
+/// Accumulates rows and writes an RFC-4180-ish CSV file. Cells containing
+/// commas, quotes or newlines are quoted; embedded quotes are doubled.
+/// Benches use this to dump figure series for external plotting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Writes header plus all rows to `path`. Fails with IOError if the file
+  /// cannot be opened.
+  Status WriteToFile(const std::string& path) const;
+
+  /// Renders the CSV content to a string.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tps
+
+#endif  // TPS_UTIL_CSV_WRITER_H_

@@ -1,0 +1,114 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace tps {
+
+StatusOr<FlagParser> FlagParser::Parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return Parse(args);
+}
+
+StatusOr<FlagParser> FlagParser::Parse(
+    const std::vector<std::string>& args) {
+  FlagParser parser;
+  bool flags_done = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (flags_done || !strings::StartsWith(arg, "--")) {
+      parser.positionals_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    if (body.empty()) {
+      return Status::InvalidArgument("empty flag name in '" + arg + "'");
+    }
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      const std::string name = body.substr(0, eq);
+      const std::string value = body.substr(eq + 1);
+      if (name.empty() || value.empty()) {
+        return Status::InvalidArgument("malformed flag '" + arg + "'");
+      }
+      parser.flags_[name] = value;
+      continue;
+    }
+    // `--flag value` when the next token is not itself a flag; otherwise a
+    // bare boolean.
+    if (i + 1 < args.size() && !strings::StartsWith(args[i + 1], "--")) {
+      parser.flags_[body] = args[i + 1];
+      ++i;
+    } else {
+      parser.flags_[body] = "";
+    }
+  }
+  return parser;
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& fallback) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+StatusOr<int64_t> FlagParser::GetInt(const std::string& name,
+                                     int64_t fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name +
+                                   " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  return value;
+}
+
+StatusOr<double> FlagParser::GetDouble(const std::string& name,
+                                       double fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name +
+                                   " expects a number, got '" + it->second +
+                                   "'");
+  }
+  return value;
+}
+
+StatusOr<bool> FlagParser::GetBool(const std::string& name,
+                                   bool fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string value = strings::ToLower(it->second);
+  if (value.empty() || value == "true" || value == "1" || value == "yes") {
+    return true;
+  }
+  if (value == "false" || value == "0" || value == "no") return false;
+  return Status::InvalidArgument("flag --" + name +
+                                 " expects a boolean, got '" + it->second +
+                                 "'");
+}
+
+std::vector<std::string> FlagParser::GetList(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return {};
+  return strings::Split(it->second, ',');
+}
+
+}  // namespace tps

@@ -1,0 +1,59 @@
+#ifndef TPS_UTIL_FLAGS_H_
+#define TPS_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace tps {
+
+/// Minimal command-line parser for the CLI tools.
+///
+/// Grammar: `program [subcommand] [--flag=value | --flag value | --bool]
+/// [positional...]`. Flags may appear in any order and may be interleaved
+/// with positionals; `--` ends flag parsing.
+class FlagParser {
+ public:
+  /// Parses argv (excluding argv[0]). Fails on malformed flags (e.g. a
+  /// value-less `--flag=`).
+  static StatusOr<FlagParser> Parse(int argc, const char* const* argv);
+
+  /// Parses from a pre-split vector (for tests).
+  static StatusOr<FlagParser> Parse(const std::vector<std::string>& args);
+
+  /// True if --name was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// String value of --name, or `fallback` when absent.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+
+  /// Integer value of --name; fails on non-numeric values.
+  StatusOr<int64_t> GetInt(const std::string& name, int64_t fallback) const;
+
+  /// Double value of --name; fails on non-numeric values.
+  StatusOr<double> GetDouble(const std::string& name,
+                             double fallback) const;
+
+  /// Boolean: present without value or with value in {true,1,yes} => true;
+  /// {false,0,no} => false; absent => fallback.
+  StatusOr<bool> GetBool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated list value of --name.
+  std::vector<std::string> GetList(const std::string& name) const;
+
+  /// Non-flag arguments, in order.
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+ private:
+  FlagParser() = default;
+
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace tps
+
+#endif  // TPS_UTIL_FLAGS_H_

@@ -1,0 +1,95 @@
+#ifndef TPS_UTIL_STATUSOR_H_
+#define TPS_UTIL_STATUSOR_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace tps {
+
+/// Holds either a value of type T or an error Status.
+///
+/// Accessing the value of a non-OK StatusOr aborts the process with a
+/// diagnostic (library code is exception-free), so callers must check ok()
+/// (or use ValueOr) first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. Must not be OK: an OK StatusOr must
+  /// carry a value.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal(
+          "StatusOr constructed from OK status without a value");
+    }
+  }
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return std::move(*value_);
+  }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T ValueOr(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      std::cerr << "FATAL: accessing value of failed StatusOr: "
+                << status_.ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace tps
+
+/// Evaluates `rexpr` (a StatusOr expression); on error returns the status
+/// from the enclosing function, otherwise assigns the value to `lhs`.
+#define TPS_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  TPS_ASSIGN_OR_RETURN_IMPL_(                                 \
+      TPS_STATUS_MACROS_CONCAT_(_tps_statusor, __LINE__), lhs, rexpr)
+
+#define TPS_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                               \
+  if (!statusor.ok()) return statusor.status();          \
+  lhs = std::move(statusor).value()
+
+#define TPS_STATUS_MACROS_CONCAT_(x, y) TPS_STATUS_MACROS_CONCAT_IMPL_(x, y)
+#define TPS_STATUS_MACROS_CONCAT_IMPL_(x, y) x##y
+
+#endif  // TPS_UTIL_STATUSOR_H_

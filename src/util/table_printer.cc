@@ -1,0 +1,66 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tps {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), /*separator=*/false});
+}
+
+void TablePrinter::AddSeparator() {
+  rows_.push_back(Row{{}, /*separator=*/true});
+}
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString(); }
+
+std::string TablePrinter::ToString() const {
+  size_t columns = header_.size();
+  for (const Row& row : rows_) {
+    columns = std::max(columns, row.cells.size());
+  }
+  std::vector<size_t> widths(columns, 0);
+  auto account = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  account(header_);
+  for (const Row& row : rows_) {
+    if (!row.separator) account(row.cells);
+  }
+
+  std::ostringstream os;
+  auto emit_separator = [&] {
+    os << "+";
+    for (size_t w : widths) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (size_t i = 0; i < columns; ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      os << " " << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+
+  emit_separator();
+  emit_row(header_);
+  emit_separator();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      emit_separator();
+    } else {
+      emit_row(row.cells);
+    }
+  }
+  emit_separator();
+  return os.str();
+}
+
+}  // namespace tps

@@ -1,0 +1,30 @@
+#ifndef TPS_UTIL_TIMER_H_
+#define TPS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace tps {
+
+/// Wall-clock stopwatch for coarse harness timing. The paper reports costs
+/// in *training epochs* (see sim::EpochBudget); this timer only instruments
+/// harness overheads.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tps
+
+#endif  // TPS_UTIL_TIMER_H_

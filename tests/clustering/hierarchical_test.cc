@@ -1,0 +1,138 @@
+#include "clustering/hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include "clustering/distance.h"
+#include "util/rng.h"
+
+namespace tps {
+namespace {
+
+/// Distance matrix for two tight pairs far from each other:
+/// items {0,1} and {2,3}.
+Matrix TwoPairDistances() {
+  auto m = *Matrix::FromRows({{0.0, 0.1, 5.0, 5.1},
+                              {0.1, 0.0, 5.2, 5.0},
+                              {5.0, 5.2, 0.0, 0.2},
+                              {5.1, 5.0, 0.2, 0.0}});
+  return m;
+}
+
+TEST(HierarchicalTest, MergesToRequestedClusterCount) {
+  HierarchicalOptions options;
+  options.num_clusters = 2;
+  auto result = HierarchicalCluster(TwoPairDistances(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clustering.num_clusters, 2);
+  EXPECT_EQ(result->clustering.assignments[0],
+            result->clustering.assignments[1]);
+  EXPECT_EQ(result->clustering.assignments[2],
+            result->clustering.assignments[3]);
+  EXPECT_NE(result->clustering.assignments[0],
+            result->clustering.assignments[2]);
+}
+
+TEST(HierarchicalTest, ThresholdStopsEarly) {
+  HierarchicalOptions options;
+  options.distance_threshold = 1.0;  // Pairs merge (0.1, 0.2) but not across.
+  auto result = HierarchicalCluster(TwoPairDistances(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clustering.num_clusters, 2);
+  EXPECT_EQ(result->merges.size(), 2u);
+}
+
+TEST(HierarchicalTest, TinyThresholdKeepsAllSingletons) {
+  HierarchicalOptions options;
+  options.distance_threshold = 0.01;
+  auto result = HierarchicalCluster(TwoPairDistances(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clustering.num_clusters, 4);
+  EXPECT_TRUE(result->merges.empty());
+}
+
+TEST(HierarchicalTest, MergeHistoryRecordsDistances) {
+  HierarchicalOptions options;
+  options.num_clusters = 1;
+  auto result = HierarchicalCluster(TwoPairDistances(), options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->merges.size(), 3u);
+  // Merge distances are non-decreasing for average linkage on this data.
+  EXPECT_LE(result->merges[0].distance, result->merges[1].distance);
+  EXPECT_LE(result->merges[1].distance, result->merges[2].distance);
+  EXPECT_NEAR(result->merges[0].distance, 0.1, 1e-12);
+}
+
+TEST(HierarchicalTest, SingleLinkageChains) {
+  // A chain 0-1-2 with short consecutive links but long 0-2 distance:
+  // single linkage merges the chain before complete linkage would.
+  auto chain = *Matrix::FromRows(
+      {{0.0, 1.0, 3.0}, {1.0, 0.0, 1.1}, {3.0, 1.1, 0.0}});
+  HierarchicalOptions single;
+  single.linkage = Linkage::kSingle;
+  single.distance_threshold = 1.5;
+  auto single_result = HierarchicalCluster(chain, single);
+  ASSERT_TRUE(single_result.ok());
+  EXPECT_EQ(single_result->clustering.num_clusters, 1);
+
+  HierarchicalOptions complete;
+  complete.linkage = Linkage::kComplete;
+  complete.distance_threshold = 1.5;
+  auto complete_result = HierarchicalCluster(chain, complete);
+  ASSERT_TRUE(complete_result.ok());
+  EXPECT_EQ(complete_result->clustering.num_clusters, 2);
+}
+
+TEST(HierarchicalTest, AverageLinkageIsBetweenSingleAndComplete) {
+  Rng rng(12);
+  const size_t n = 12;
+  Matrix d(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double v = rng.Uniform(0.1, 2.0);
+      d.At(i, j) = v;
+      d.At(j, i) = v;
+    }
+  }
+  auto clusters_at = [&](Linkage linkage) {
+    HierarchicalOptions options;
+    options.linkage = linkage;
+    options.distance_threshold = 0.9;
+    return HierarchicalCluster(d, options)->clustering.num_clusters;
+  };
+  const int single = clusters_at(Linkage::kSingle);
+  const int average = clusters_at(Linkage::kAverage);
+  const int complete = clusters_at(Linkage::kComplete);
+  EXPECT_LE(single, average);
+  EXPECT_LE(average, complete);
+}
+
+TEST(HierarchicalTest, SingleItemIsOneCluster) {
+  Matrix d(1, 1, 0.0);
+  HierarchicalOptions options;
+  options.num_clusters = 1;
+  auto result = HierarchicalCluster(d, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clustering.num_clusters, 1);
+}
+
+TEST(HierarchicalTest, InputValidation) {
+  HierarchicalOptions options;
+  options.num_clusters = 1;
+  EXPECT_TRUE(
+      HierarchicalCluster(Matrix(2, 3), options).status().IsInvalidArgument());
+  auto asym = *Matrix::FromRows({{0.0, 1.0}, {2.0, 0.0}});
+  EXPECT_TRUE(
+      HierarchicalCluster(asym, options).status().IsInvalidArgument());
+  options.num_clusters = 10;
+  EXPECT_TRUE(HierarchicalCluster(TwoPairDistances(), options)
+                  .status()
+                  .IsInvalidArgument());
+  options.num_clusters = 0;
+  options.distance_threshold = 0.0;  // Neither stopping rule set.
+  EXPECT_TRUE(HierarchicalCluster(TwoPairDistances(), options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tps

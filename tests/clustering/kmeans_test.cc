@@ -1,0 +1,114 @@
+#include "clustering/kmeans.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tps {
+namespace {
+
+/// Three well-separated 2-D blobs of `per_blob` points each.
+Matrix ThreeBlobs(size_t per_blob, uint64_t seed) {
+  Rng rng(seed);
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  Matrix points(3 * per_blob, 2);
+  for (size_t b = 0; b < 3; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      points.At(b * per_blob + i, 0) = centers[b][0] + 0.3 * rng.Normal();
+      points.At(b * per_blob + i, 1) = centers[b][1] + 0.3 * rng.Normal();
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  const Matrix points = ThreeBlobs(20, 1);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  auto result = KMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  // All points of a blob share one label, and the three labels differ.
+  std::set<int> blob_labels;
+  for (size_t b = 0; b < 3; ++b) {
+    const int label = result->clustering.assignments[b * 20];
+    blob_labels.insert(label);
+    for (size_t i = 0; i < 20; ++i) {
+      EXPECT_EQ(result->clustering.assignments[b * 20 + i], label);
+    }
+  }
+  EXPECT_EQ(blob_labels.size(), 3u);
+  EXPECT_LT(result->inertia, 60.0 * 0.3 * 0.3 * 4.0);
+}
+
+TEST(KMeansTest, KEqualsOnePutsEverythingTogether) {
+  const Matrix points = ThreeBlobs(5, 2);
+  KMeansOptions options;
+  options.num_clusters = 1;
+  auto result = KMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  for (int a : result->clustering.assignments) EXPECT_EQ(a, 0);
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia) {
+  const Matrix points = ThreeBlobs(2, 3);  // 6 points.
+  KMeansOptions options;
+  options.num_clusters = 6;
+  auto result = KMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-9);
+  EXPECT_EQ(result->clustering.NumSingletons(), 6u);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  const Matrix points = ThreeBlobs(10, 4);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  options.seed = 99;
+  auto a = KMeans(points, options);
+  auto b = KMeans(points, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->clustering.assignments, b->clustering.assignments);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeansTest, ValidatesOptions) {
+  const Matrix points = ThreeBlobs(2, 5);
+  KMeansOptions options;
+  options.num_clusters = 0;
+  EXPECT_TRUE(KMeans(points, options).status().IsInvalidArgument());
+  options.num_clusters = 100;  // More clusters than points.
+  EXPECT_TRUE(KMeans(points, options).status().IsInvalidArgument());
+  options.num_clusters = 2;
+  options.restarts = 0;
+  EXPECT_TRUE(KMeans(points, options).status().IsInvalidArgument());
+}
+
+TEST(KMeans1DTest, ClustersScalarValues) {
+  const std::vector<double> values = {0.1, 0.12, 0.11, 0.9, 0.88, 0.91};
+  KMeansOptions options;
+  options.num_clusters = 2;
+  auto result = KMeans1D(values, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clustering.assignments[0],
+            result->clustering.assignments[1]);
+  EXPECT_EQ(result->clustering.assignments[3],
+            result->clustering.assignments[4]);
+  EXPECT_NE(result->clustering.assignments[0],
+            result->clustering.assignments[3]);
+}
+
+TEST(ClusteringResultTest, MembersSizesSingletons) {
+  ClusteringResult clustering;
+  clustering.assignments = {0, 1, 0, 2};
+  clustering.num_clusters = 3;
+  EXPECT_EQ(clustering.Members(0), (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(clustering.Sizes(), (std::vector<size_t>{2, 1, 1}));
+  EXPECT_EQ(clustering.NumSingletons(), 2u);
+  EXPECT_EQ(clustering.num_items(), 4u);
+}
+
+}  // namespace
+}  // namespace tps

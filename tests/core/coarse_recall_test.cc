@@ -1,0 +1,156 @@
+#include "core/coarse_recall.h"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.h"
+#include "data/registry.h"
+#include "model/paper_zoo.h"
+#include "util/rng.h"
+
+namespace tps {
+namespace {
+
+class CoarseRecallTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    zoo_ = new ModelZoo(*ModelZoo::Create(NlpPaperZooSpecs()));
+    registry_ =
+        new DatasetRegistry(*DatasetRegistry::CreatePaperInventory());
+    simulator_ = new FineTuneSimulator();
+    matrix_ = new PerformanceMatrix(*PerformanceMatrix::Build(
+        *zoo_, registry_->Benchmarks(TaskDomain::kNLP), *simulator_,
+        Hyperparams::DefaultsFor(TaskDomain::kNLP)));
+    clustering_ = new ModelClustering(
+        *ClusterModels(*matrix_, *zoo_, ModelClusteringOptions()));
+    target_ = *registry_->Find("mnli");
+  }
+
+  static ModelZoo* zoo_;
+  static DatasetRegistry* registry_;
+  static FineTuneSimulator* simulator_;
+  static PerformanceMatrix* matrix_;
+  static ModelClustering* clustering_;
+  static const Dataset* target_;
+};
+
+ModelZoo* CoarseRecallTest::zoo_ = nullptr;
+DatasetRegistry* CoarseRecallTest::registry_ = nullptr;
+FineTuneSimulator* CoarseRecallTest::simulator_ = nullptr;
+PerformanceMatrix* CoarseRecallTest::matrix_ = nullptr;
+ModelClustering* CoarseRecallTest::clustering_ = nullptr;
+const Dataset* CoarseRecallTest::target_ = nullptr;
+
+TEST_F(CoarseRecallTest, RanksAllModelsSortedByScore) {
+  CoarseRecall recall(zoo_, matrix_, clustering_);
+  auto result = recall.Recall(*target_, RecallOptions(), nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ranked.size(), zoo_->size());
+  for (size_t i = 1; i < result->ranked.size(); ++i) {
+    EXPECT_GE(result->ranked[i - 1].recall_score,
+              result->ranked[i].recall_score);
+  }
+}
+
+TEST_F(CoarseRecallTest, ChargesHalfEpochPerProxy) {
+  CoarseRecall recall(zoo_, matrix_, clustering_);
+  EpochBudget budget;
+  auto result = *recall.Recall(*target_, RecallOptions(), &budget);
+  EXPECT_EQ(result.proxies_computed,
+            clustering_->NonSingletonClusters().size());
+  EXPECT_DOUBLE_EQ(budget.inference_epochs(),
+                   0.5 * static_cast<double>(result.proxies_computed));
+  EXPECT_DOUBLE_EQ(budget.training_epochs(), 0.0);
+}
+
+TEST_F(CoarseRecallTest, SingletonModelsGetPropagatedScores) {
+  CoarseRecall recall(zoo_, matrix_, clustering_);
+  auto result = *recall.Recall(*target_, RecallOptions(), nullptr);
+  for (const RecallEntry& entry : result.ranked) {
+    EXPECT_EQ(entry.via_propagation,
+              clustering_->IsSingletonModel(entry.model_index));
+    EXPECT_GE(entry.proxy_component, 0.0);
+    EXPECT_LE(entry.proxy_component, 1.0);
+    EXPECT_NEAR(entry.recall_score,
+                entry.prior_accuracy * entry.proxy_component, 1e-12);
+  }
+}
+
+TEST_F(CoarseRecallTest, TopModelsAndRankOf) {
+  CoarseRecall recall(zoo_, matrix_, clustering_);
+  auto result = *recall.Recall(*target_, RecallOptions(), nullptr);
+  const auto top5 = result.TopModels(5);
+  ASSERT_EQ(top5.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(result.RankOf(top5[i]), i);
+  }
+  // Requesting more than the zoo size returns everything.
+  EXPECT_EQ(result.TopModels(1000).size(), zoo_->size());
+}
+
+TEST_F(CoarseRecallTest, RecallsBetterThanRandomOnMnli) {
+  CoarseRecall recall(zoo_, matrix_, clustering_);
+  auto result = *recall.Recall(*target_, RecallOptions(), nullptr);
+  const std::vector<double> truth = *TrueFinalAccuracies(
+      *zoo_, *target_, *simulator_,
+      Hyperparams::DefaultsFor(TaskDomain::kNLP));
+  const double recalled = MeanAt(truth, result.TopModels(10));
+  Rng rng(5);
+  double random = 0.0;
+  for (int draw = 0; draw < 30; ++draw) {
+    random += MeanAt(truth, rng.SampleWithoutReplacement(zoo_->size(), 10));
+  }
+  random /= 30.0;
+  EXPECT_GT(recalled, random);
+}
+
+TEST_F(CoarseRecallTest, DirectScoringAblationComputesAllProxies) {
+  CoarseRecall recall(zoo_, matrix_, clustering_);
+  RecallOptions options;
+  options.use_cluster_representatives = false;
+  EpochBudget budget;
+  auto result = *recall.Recall(*target_, options, &budget);
+  EXPECT_EQ(result.proxies_computed, zoo_->size());
+  EXPECT_DOUBLE_EQ(budget.inference_epochs(), 0.5 * 40.0);
+  for (const RecallEntry& entry : result.ranked) {
+    EXPECT_FALSE(entry.via_propagation);
+  }
+}
+
+TEST_F(CoarseRecallTest, PriorAblationUsesProxyOnly) {
+  CoarseRecall recall(zoo_, matrix_, clustering_);
+  RecallOptions options;
+  options.use_accuracy_prior = false;
+  auto result = *recall.Recall(*target_, options, nullptr);
+  for (const RecallEntry& entry : result.ranked) {
+    EXPECT_DOUBLE_EQ(entry.recall_score, entry.proxy_component);
+  }
+}
+
+TEST_F(CoarseRecallTest, WorksWithAllProxyScorers) {
+  CoarseRecall recall(zoo_, matrix_, clustering_);
+  for (const char* proxy : {"leep", "nce", "logme", "knn"}) {
+    RecallOptions options;
+    options.proxy = proxy;
+    auto result = recall.Recall(*target_, options, nullptr);
+    EXPECT_TRUE(result.ok()) << proxy;
+  }
+  RecallOptions bad;
+  bad.proxy = "bogus";
+  EXPECT_TRUE(recall.Recall(*target_, bad, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(CoarseRecallTest, DeterministicAcrossCalls) {
+  CoarseRecall recall(zoo_, matrix_, clustering_);
+  auto a = *recall.Recall(*target_, RecallOptions(), nullptr);
+  auto b = *recall.Recall(*target_, RecallOptions(), nullptr);
+  ASSERT_EQ(a.ranked.size(), b.ranked.size());
+  for (size_t i = 0; i < a.ranked.size(); ++i) {
+    EXPECT_EQ(a.ranked[i].model_index, b.ranked[i].model_index);
+    EXPECT_DOUBLE_EQ(a.ranked[i].recall_score, b.ranked[i].recall_score);
+  }
+}
+
+}  // namespace
+}  // namespace tps

@@ -1,0 +1,179 @@
+#include "core/performance_matrix.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/registry.h"
+#include "model/paper_zoo.h"
+
+namespace tps {
+namespace {
+
+/// Small fixture world: 4 models, 5 benchmark datasets.
+class PerformanceMatrixTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const std::vector<ModelSpec> all_models = NlpPaperZooSpecs();
+    const std::vector<ModelSpec> model_specs(all_models.begin(),
+                                             all_models.begin() + 4);
+    zoo_ = new ModelZoo(*ModelZoo::Create(model_specs));
+    const std::vector<DatasetSpec> all_datasets = NlpBenchmarkSpecs();
+    const std::vector<DatasetSpec> dataset_specs(all_datasets.begin(),
+                                                 all_datasets.begin() + 5);
+    registry_ = new DatasetRegistry(*DatasetRegistry::Create(dataset_specs));
+    simulator_ = new FineTuneSimulator();
+    matrix_ = new PerformanceMatrix(*PerformanceMatrix::Build(
+        *zoo_, registry_->Benchmarks(TaskDomain::kNLP), *simulator_,
+        Hyperparams::DefaultsFor(TaskDomain::kNLP)));
+  }
+
+  static ModelZoo* zoo_;
+  static DatasetRegistry* registry_;
+  static FineTuneSimulator* simulator_;
+  static PerformanceMatrix* matrix_;
+};
+
+ModelZoo* PerformanceMatrixTest::zoo_ = nullptr;
+DatasetRegistry* PerformanceMatrixTest::registry_ = nullptr;
+FineTuneSimulator* PerformanceMatrixTest::simulator_ = nullptr;
+PerformanceMatrix* PerformanceMatrixTest::matrix_ = nullptr;
+
+TEST_F(PerformanceMatrixTest, DimensionsAndNames) {
+  EXPECT_EQ(matrix_->num_models(), 4u);
+  EXPECT_EQ(matrix_->num_datasets(), 5u);
+  EXPECT_EQ(matrix_->accuracy().rows(), 5u);
+  EXPECT_EQ(matrix_->accuracy().cols(), 4u);
+  EXPECT_EQ(matrix_->model_names()[0], zoo_->model(0).name());
+  EXPECT_EQ(matrix_->dataset_names()[0], "cola");
+}
+
+TEST_F(PerformanceMatrixTest, AccuracyEqualsRunFinalTest) {
+  for (size_t d = 0; d < matrix_->num_datasets(); ++d) {
+    for (size_t m = 0; m < matrix_->num_models(); ++m) {
+      EXPECT_DOUBLE_EQ(matrix_->accuracy().At(d, m),
+                       matrix_->run(d, m).final_test());
+    }
+  }
+}
+
+TEST_F(PerformanceMatrixTest, ModelVectorIsColumn) {
+  const std::vector<double> vec = matrix_->ModelVector(2);
+  ASSERT_EQ(vec.size(), 5u);
+  for (size_t d = 0; d < 5; ++d) {
+    EXPECT_DOUBLE_EQ(vec[d], matrix_->accuracy().At(d, 2));
+  }
+}
+
+TEST_F(PerformanceMatrixTest, ModelAverageAccuracyIsColumnMean) {
+  const std::vector<double> vec = matrix_->ModelVector(1);
+  double sum = 0.0;
+  for (double v : vec) sum += v;
+  EXPECT_DOUBLE_EQ(matrix_->ModelAverageAccuracy(1), sum / 5.0);
+}
+
+TEST_F(PerformanceMatrixTest, ValAtStageClampsToCurveLength) {
+  const TrainingRun& run = matrix_->run(0, 0);
+  EXPECT_DOUBLE_EQ(matrix_->ValAtStage(0, 0, 0), run.val_accuracy.front());
+  EXPECT_DOUBLE_EQ(matrix_->ValAtStage(0, 0, 100), run.val_accuracy.back());
+  EXPECT_DOUBLE_EQ(matrix_->ValAtStage(0, 0, -5), run.val_accuracy.front());
+}
+
+TEST_F(PerformanceMatrixTest, MatchesDirectSimulation) {
+  auto direct = *simulator_->Run(
+      zoo_->model(3), **registry_->Find("qnli"),
+      Hyperparams::DefaultsFor(TaskDomain::kNLP));
+  // qnli is the third NLP benchmark spec (cola, mrpc, qnli, ...).
+  EXPECT_EQ(matrix_->run(2, 3).val_accuracy, direct.val_accuracy);
+}
+
+TEST_F(PerformanceMatrixTest, SaveLoadRoundTrips) {
+  const std::string path = testing::TempDir() + "/tps_perf_matrix.txt";
+  ASSERT_TRUE(matrix_->SaveToFile(path).ok());
+  auto loaded = PerformanceMatrix::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_models(), matrix_->num_models());
+  EXPECT_EQ(loaded->num_datasets(), matrix_->num_datasets());
+  EXPECT_EQ(loaded->model_names(), matrix_->model_names());
+  EXPECT_EQ(loaded->dataset_names(), matrix_->dataset_names());
+  EXPECT_TRUE(loaded->accuracy().ApproxEquals(matrix_->accuracy()));
+  for (size_t d = 0; d < matrix_->num_datasets(); ++d) {
+    for (size_t m = 0; m < matrix_->num_models(); ++m) {
+      EXPECT_EQ(loaded->run(d, m).val_accuracy,
+                matrix_->run(d, m).val_accuracy);
+    }
+  }
+}
+
+TEST_F(PerformanceMatrixTest, LoadRejectsCorruptFiles) {
+  const std::string path = testing::TempDir() + "/tps_bad_matrix.txt";
+  {
+    std::ofstream out(path);
+    out << "not a matrix header\n";
+  }
+  EXPECT_TRUE(PerformanceMatrix::LoadFromFile(path)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(PerformanceMatrix::LoadFromFile("/no/such/file")
+                  .status()
+                  .IsIOError());
+}
+
+TEST_F(PerformanceMatrixTest, ParallelBuildIsBitIdenticalToSerial) {
+  for (int threads : {1, 2, 4, 7}) {
+    auto parallel = PerformanceMatrix::BuildParallel(
+        *zoo_, registry_->Benchmarks(TaskDomain::kNLP), *simulator_,
+        Hyperparams::DefaultsFor(TaskDomain::kNLP), threads);
+    ASSERT_TRUE(parallel.ok()) << "threads=" << threads;
+    EXPECT_TRUE(parallel->accuracy().ApproxEquals(matrix_->accuracy(), 0.0))
+        << "threads=" << threads;
+    for (size_t d = 0; d < matrix_->num_datasets(); ++d) {
+      for (size_t m = 0; m < matrix_->num_models(); ++m) {
+        ASSERT_EQ(parallel->run(d, m).val_accuracy,
+                  matrix_->run(d, m).val_accuracy)
+            << "threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST_F(PerformanceMatrixTest, ParallelBuildValidatesThreadCount) {
+  EXPECT_TRUE(PerformanceMatrix::BuildParallel(
+                  *zoo_, registry_->Benchmarks(TaskDomain::kNLP),
+                  *simulator_, Hyperparams::DefaultsFor(TaskDomain::kNLP),
+                  0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PerformanceMatrixBuildTest, RejectsEmptyInputs) {
+  auto zoo = *ModelZoo::Create({});
+  DatasetRegistry registry = *DatasetRegistry::Create(
+      {NlpBenchmarkSpecs()[0]});
+  FineTuneSimulator simulator;
+  EXPECT_TRUE(PerformanceMatrix::Build(
+                  zoo, registry.Benchmarks(TaskDomain::kNLP), simulator,
+                  Hyperparams())
+                  .status()
+                  .IsInvalidArgument());
+
+  auto zoo2 = *ModelZoo::Create(
+      {NlpPaperZooSpecs()[0]});
+  EXPECT_TRUE(PerformanceMatrix::Build(zoo2, {}, simulator, Hyperparams())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PerformanceMatrixBuildTest, RejectsDomainMismatch) {
+  auto zoo = *ModelZoo::Create({NlpPaperZooSpecs()[0]});
+  DatasetRegistry registry = *DatasetRegistry::Create({CvBenchmarkSpecs()[2]});
+  FineTuneSimulator simulator;
+  EXPECT_TRUE(PerformanceMatrix::Build(
+                  zoo, registry.Benchmarks(TaskDomain::kCV), simulator,
+                  Hyperparams::DefaultsFor(TaskDomain::kCV))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tps

@@ -1,0 +1,74 @@
+// Robustness sweep: the paper's headline claims must hold across training
+// run seeds (different data order / init noise), not just for one lucky
+// draw. The latent transfer truth is seed-independent; only per-epoch
+// noise varies.
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/two_phase.h"
+#include "data/registry.h"
+#include "model/paper_zoo.h"
+
+namespace tps {
+namespace {
+
+class RobustnessTest : public testing::TestWithParam<uint64_t> {
+ protected:
+  static void SetUpTestSuite() {
+    zoo_ = new ModelZoo(*ModelZoo::Create(NlpPaperZooSpecs()));
+    registry_ =
+        new DatasetRegistry(*DatasetRegistry::CreatePaperInventory());
+    simulator_ = new FineTuneSimulator();
+    matrix_ = new PerformanceMatrix(*PerformanceMatrix::Build(
+        *zoo_, registry_->Benchmarks(TaskDomain::kNLP), *simulator_,
+        Hyperparams::DefaultsFor(TaskDomain::kNLP)));
+    clustering_ = new ModelClustering(
+        *ClusterModels(*matrix_, *zoo_, ModelClusteringOptions()));
+    target_ = *registry_->Find("mnli");
+  }
+
+  static ModelZoo* zoo_;
+  static DatasetRegistry* registry_;
+  static FineTuneSimulator* simulator_;
+  static PerformanceMatrix* matrix_;
+  static ModelClustering* clustering_;
+  static const Dataset* target_;
+};
+
+ModelZoo* RobustnessTest::zoo_ = nullptr;
+DatasetRegistry* RobustnessTest::registry_ = nullptr;
+FineTuneSimulator* RobustnessTest::simulator_ = nullptr;
+PerformanceMatrix* RobustnessTest::matrix_ = nullptr;
+ModelClustering* RobustnessTest::clustering_ = nullptr;
+const Dataset* RobustnessTest::target_ = nullptr;
+
+TEST_P(RobustnessTest, TwoPhaseHoldsAcrossRunSeeds) {
+  Hyperparams hp = Hyperparams::DefaultsFor(TaskDomain::kNLP);
+  hp.seed = GetParam();
+
+  TwoPhaseSelector selector(zoo_, matrix_, clustering_, simulator_);
+  auto report = *selector.Select(*target_, TwoPhaseOptions(), hp);
+
+  std::vector<size_t> all(zoo_->size());
+  std::iota(all.begin(), all.end(), 0);
+  BruteForceSelector bf(zoo_, simulator_);
+  EpochBudget bf_budget;
+  auto bf_outcome = *bf.Select(all, *target_, hp, &bf_budget);
+
+  // Accuracy within a few points of exhaustive search, at >= 8x less cost,
+  // for every run seed.
+  EXPECT_GE(report.selection.selected_accuracy,
+            bf_outcome.selected_accuracy - 0.05)
+      << "seed " << GetParam();
+  EXPECT_GT(bf_budget.total_epochs() / report.budget.total_epochs(), 8.0)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RobustnessTest,
+                         testing::Values(0, 1, 2, 7, 13, 42, 1234));
+
+}  // namespace
+}  // namespace tps

@@ -1,0 +1,96 @@
+#include "data/latent.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "matrix/vector_ops.h"
+
+namespace tps {
+namespace latent {
+namespace {
+
+TEST(LatentTest, HashIsDeterministicAndDiscriminates) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(HashString(""), HashString("a"));
+}
+
+TEST(LatentTest, CombineSeedsOrderMatters) {
+  EXPECT_NE(CombineSeeds(1, 2), CombineSeeds(2, 1));
+  EXPECT_EQ(CombineSeeds(1, 2), CombineSeeds(1, 2));
+}
+
+TEST(LatentTest, TagVectorIsUnitNormAndDeterministic) {
+  const auto v1 = TagVector("nli");
+  const auto v2 = TagVector("nli");
+  EXPECT_EQ(v1, v2);
+  EXPECT_EQ(v1.size(), kDims);
+  EXPECT_NEAR(vec::Norm(v1), 1.0, 1e-12);
+}
+
+TEST(LatentTest, DistinctTagsAreNearOrthogonal) {
+  const auto a = TagVector("sentiment");
+  const auto b = TagVector("radiology");
+  EXPECT_LT(std::fabs(vec::CosineSimilarity(a, b)), 0.5);
+}
+
+TEST(LatentTest, MixTagsSameTagsDifferentSeedsAreClose) {
+  const std::vector<std::string> tags = {"english", "nli"};
+  const auto a = MixTags(tags, 0.15, 1);
+  const auto b = MixTags(tags, 0.15, 2);
+  EXPECT_GT(vec::CosineSimilarity(a, b), 0.9);
+  EXPECT_NEAR(vec::Norm(a), 1.0, 1e-12);
+}
+
+TEST(LatentTest, MixTagsDisjointTagsAreFar) {
+  const auto a = MixTags({"english", "nli"}, 0.1, 1);
+  const auto b = MixTags({"arabic", "poetry"}, 0.1, 2);
+  EXPECT_LT(vec::CosineSimilarity(a, b), 0.5);
+}
+
+TEST(LatentTest, MixTagsSharedTagRaisesSimilarity) {
+  const auto nli_a = MixTags({"english", "nli"}, 0.1, 1);
+  const auto nli_b = MixTags({"french", "nli"}, 0.1, 2);
+  const auto unrelated = MixTags({"french", "digits"}, 0.1, 3);
+  EXPECT_GT(vec::CosineSimilarity(nli_a, nli_b),
+            vec::CosineSimilarity(nli_a, unrelated));
+}
+
+TEST(LatentTest, MixTagsNoiseScaleControlsSpread) {
+  const std::vector<std::string> tags = {"topic"};
+  const double low_noise = vec::CosineSimilarity(MixTags(tags, 0.05, 1),
+                                                 MixTags(tags, 0.05, 2));
+  const double high_noise = vec::CosineSimilarity(MixTags(tags, 0.8, 1),
+                                                  MixTags(tags, 0.8, 2));
+  EXPECT_GT(low_noise, high_noise);
+}
+
+TEST(LatentTest, MixTagsEmptyTagsIsSeededRandomUnit) {
+  const auto a = MixTags({}, 0.1, 42);
+  const auto b = MixTags({}, 0.1, 42);
+  const auto c = MixTags({}, 0.1, 43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NEAR(vec::Norm(a), 1.0, 1e-12);
+}
+
+TEST(LatentTest, LabelVectorsDifferByLabelAndEntity) {
+  const auto a0 = LabelVector(1, 0);
+  const auto a1 = LabelVector(1, 1);
+  const auto b0 = LabelVector(2, 0);
+  EXPECT_NE(a0, a1);
+  EXPECT_NE(a0, b0);
+  EXPECT_EQ(a0, LabelVector(1, 0));
+  EXPECT_NEAR(vec::Norm(a0), 1.0, 1e-12);
+}
+
+TEST(LatentTest, AffinityFromCosineMapsRange) {
+  EXPECT_DOUBLE_EQ(AffinityFromCosine(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(AffinityFromCosine(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(AffinityFromCosine(0.0), 0.5);
+}
+
+}  // namespace
+}  // namespace latent
+}  // namespace tps

@@ -1,0 +1,143 @@
+#include "sim/transfer_oracle.h"
+
+#include <gtest/gtest.h>
+
+namespace tps {
+namespace {
+
+ModelSpec MakeModelSpec(const std::string& name, double capability,
+                        std::vector<std::string> ft_tags = {"english",
+                                                            "nli"}) {
+  ModelSpec spec;
+  spec.name = name;
+  spec.family = "bert";
+  spec.capability = capability;
+  spec.pretrain_tags = {"english", "books"};
+  spec.finetune_tags = std::move(ft_tags);
+  spec.num_source_labels = 3;
+  return spec;
+}
+
+DatasetSpec MakeDatasetSpec(const std::string& name = "oracle-target") {
+  DatasetSpec spec;
+  spec.name = name;
+  spec.num_labels = 3;
+  spec.tags = {"english", "nli"};
+  spec.num_examples = 30;
+  spec.difficulty = 0.4;
+  return spec;
+}
+
+TEST(TransferOracleTest, TruthIsDeterministic) {
+  TransferOracle oracle;
+  auto model = *PretrainedModel::Create(MakeModelSpec("m", 0.6));
+  auto dataset = *Dataset::Create(MakeDatasetSpec());
+  const TransferTruth a = oracle.Evaluate(model, dataset);
+  const TransferTruth b = oracle.Evaluate(model, dataset);
+  EXPECT_DOUBLE_EQ(a.asymptotic_accuracy, b.asymptotic_accuracy);
+  EXPECT_DOUBLE_EQ(a.convergence_rate, b.convergence_rate);
+  EXPECT_DOUBLE_EQ(a.overfit_coefficient, b.overfit_coefficient);
+}
+
+TEST(TransferOracleTest, AccuracyWithinSaneBounds) {
+  TransferOracle oracle;
+  auto dataset = *Dataset::Create(MakeDatasetSpec());
+  for (double cap : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    auto model = *PretrainedModel::Create(
+        MakeModelSpec("m" + std::to_string(cap), cap));
+    const TransferTruth truth = oracle.Evaluate(model, dataset);
+    EXPECT_GT(truth.asymptotic_accuracy, 0.0);
+    EXPECT_LT(truth.asymptotic_accuracy, 1.0);
+    EXPECT_GT(truth.convergence_rate, 0.0);
+    EXPECT_GE(truth.overfit_coefficient, 0.0);
+  }
+}
+
+TEST(TransferOracleTest, HigherCapabilityHelpsOnAverage) {
+  TransferOracle oracle;
+  // Average over many datasets so pair noise cancels.
+  double weak_sum = 0.0, strong_sum = 0.0;
+  for (int d = 0; d < 20; ++d) {
+    auto dataset = *Dataset::Create(
+        MakeDatasetSpec("oracle-ds-" + std::to_string(d)));
+    auto weak = *PretrainedModel::Create(MakeModelSpec("weak", 0.35));
+    auto strong = *PretrainedModel::Create(MakeModelSpec("strong", 0.8));
+    weak_sum += oracle.Evaluate(weak, dataset).asymptotic_accuracy;
+    strong_sum += oracle.Evaluate(strong, dataset).asymptotic_accuracy;
+  }
+  EXPECT_GT(strong_sum, weak_sum + 0.5);
+}
+
+TEST(TransferOracleTest, DomainAlignmentHelps) {
+  TransferOracle oracle;
+  auto dataset = *Dataset::Create(MakeDatasetSpec());
+  auto aligned = *PretrainedModel::Create(MakeModelSpec("aligned", 0.6));
+  auto misaligned = *PretrainedModel::Create(
+      MakeModelSpec("misaligned", 0.6, {"arabic", "poetry"}));
+  const TransferTruth a = oracle.Evaluate(aligned, dataset);
+  const TransferTruth b = oracle.Evaluate(misaligned, dataset);
+  EXPECT_GT(a.alignment, b.alignment);
+  EXPECT_GT(a.asymptotic_accuracy, b.asymptotic_accuracy);
+  EXPECT_GT(a.convergence_rate, b.convergence_rate);
+}
+
+TEST(TransferOracleTest, AccuracyRespectsChanceAndCeiling) {
+  TransferOracle oracle;
+  DatasetSpec narrow = MakeDatasetSpec("narrow-range");
+  narrow.chance_accuracy = 0.55;
+  narrow.ceiling_accuracy = 0.65;
+  auto dataset = *Dataset::Create(narrow);
+  for (double cap : {0.1, 0.5, 0.9}) {
+    auto model = *PretrainedModel::Create(
+        MakeModelSpec("m" + std::to_string(cap), cap));
+    const TransferTruth truth = oracle.Evaluate(model, dataset);
+    // Range-scaled noise keeps narrow-range targets near their band.
+    EXPECT_GT(truth.asymptotic_accuracy, 0.45);
+    EXPECT_LT(truth.asymptotic_accuracy, 0.70);
+  }
+}
+
+TEST(TransferOracleTest, FamilyNoiseIsSharedWithinFamily) {
+  TransferOracle oracle;
+  // Two same-capability models of the same family vs a different family:
+  // within-family accuracy difference should usually be smaller.
+  double same_family_gap = 0.0, cross_family_gap = 0.0;
+  for (int d = 0; d < 25; ++d) {
+    auto dataset = *Dataset::Create(
+        MakeDatasetSpec("family-ds-" + std::to_string(d)));
+    ModelSpec a = MakeModelSpec("fam-a", 0.6);
+    ModelSpec b = MakeModelSpec("fam-b", 0.6);
+    ModelSpec c = MakeModelSpec("fam-c", 0.6);
+    c.family = "roberta";
+    auto ma = *PretrainedModel::Create(a);
+    auto mb = *PretrainedModel::Create(b);
+    auto mc = *PretrainedModel::Create(c);
+    const double acc_a = oracle.Evaluate(ma, dataset).asymptotic_accuracy;
+    const double acc_b = oracle.Evaluate(mb, dataset).asymptotic_accuracy;
+    const double acc_c = oracle.Evaluate(mc, dataset).asymptotic_accuracy;
+    same_family_gap += std::abs(acc_a - acc_b);
+    cross_family_gap += std::abs(acc_a - acc_c);
+  }
+  EXPECT_LT(same_family_gap, cross_family_gap);
+}
+
+TEST(TransferOracleTest, CustomParamsChangeTheLaw) {
+  OracleParams params;
+  params.sigmoid_slope = 1.0;  // Much flatter gate.
+  TransferOracle flat(params);
+  TransferOracle sharp;
+  auto dataset = *Dataset::Create(MakeDatasetSpec());
+  auto weak = *PretrainedModel::Create(
+      MakeModelSpec("w", 0.2, {"arabic", "poetry"}));
+  auto strong = *PretrainedModel::Create(MakeModelSpec("s", 0.9));
+  const double flat_gap =
+      flat.Evaluate(strong, dataset).asymptotic_accuracy -
+      flat.Evaluate(weak, dataset).asymptotic_accuracy;
+  const double sharp_gap =
+      sharp.Evaluate(strong, dataset).asymptotic_accuracy -
+      sharp.Evaluate(weak, dataset).asymptotic_accuracy;
+  EXPECT_GT(sharp_gap, flat_gap);
+}
+
+}  // namespace
+}  // namespace tps

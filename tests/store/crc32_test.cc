@@ -1,0 +1,39 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+namespace tps {
+namespace {
+
+TEST(Crc32Test, KnownTestVectors) {
+  // Standard CRC-32/IEEE check values.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32("abc"), 0x352441C2u);
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "incremental checksum computation";
+  uint32_t state = Crc32Init();
+  state = Crc32Update(state, data.data(), 10);
+  state = Crc32Update(state, data.data() + 10, data.size() - 10);
+  EXPECT_EQ(Crc32Finish(state), Crc32(data));
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data = "payload protected by checksum";
+  const uint32_t original = Crc32(data);
+  data[5] = static_cast<char>(data[5] ^ 0x01);
+  EXPECT_NE(Crc32(data), original);
+}
+
+TEST(Crc32Test, BinaryDataWithEmbeddedNulls) {
+  const char data[] = {0x00, 0x01, 0x00, static_cast<char>(0xFF), 0x00};
+  EXPECT_NE(Crc32(data, sizeof(data)), Crc32(data, sizeof(data) - 1));
+}
+
+}  // namespace
+}  // namespace tps

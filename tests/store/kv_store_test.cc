@@ -1,0 +1,160 @@
+#include "store/kv_store.h"
+
+#include <cstdio>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tps {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(KvStoreTest, PutGetDelete) {
+  auto store = std::move(KvStore::Open(TempPath("kv_basic.log"))).value();
+  ASSERT_TRUE(store.Put("alpha", "1").ok());
+  ASSERT_TRUE(store.Put("beta", "2").ok());
+  EXPECT_EQ(*store.Get("alpha"), "1");
+  EXPECT_EQ(*store.Get("beta"), "2");
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.Contains("alpha"));
+
+  ASSERT_TRUE(store.Delete("alpha").ok());
+  EXPECT_FALSE(store.Contains("alpha"));
+  EXPECT_TRUE(store.Get("alpha").status().IsNotFound());
+  EXPECT_EQ(store.size(), 1u);
+  // Deleting an absent key is a no-op.
+  EXPECT_TRUE(store.Delete("alpha").ok());
+}
+
+TEST(KvStoreTest, OverwriteKeepsLatestValue) {
+  auto store = std::move(KvStore::Open(TempPath("kv_overwrite.log"))).value();
+  ASSERT_TRUE(store.Put("key", "v1").ok());
+  ASSERT_TRUE(store.Put("key", "v2").ok());
+  EXPECT_EQ(*store.Get("key"), "v2");
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KvStoreTest, EmptyKeyRejected) {
+  auto store = std::move(KvStore::Open(TempPath("kv_emptykey.log"))).value();
+  EXPECT_TRUE(store.Put("", "v").IsInvalidArgument());
+  EXPECT_TRUE(store.Delete("").IsInvalidArgument());
+}
+
+TEST(KvStoreTest, ValuesMayContainBinaryData) {
+  auto store = std::move(KvStore::Open(TempPath("kv_binary.log"))).value();
+  std::string value = "a";
+  value.push_back('\0');
+  value += "\n\tb";
+  ASSERT_TRUE(store.Put("bin", value).ok());
+  EXPECT_EQ(*store.Get("bin"), value);
+}
+
+TEST(KvStoreTest, PersistsAcrossReopen) {
+  const std::string path = TempPath("kv_reopen.log");
+  {
+    auto store = std::move(KvStore::Open(path)).value();
+    ASSERT_TRUE(store.Put("a", "1").ok());
+    ASSERT_TRUE(store.Put("b", "2").ok());
+    ASSERT_TRUE(store.Delete("a").ok());
+    ASSERT_TRUE(store.Put("c", "3").ok());
+  }
+  auto store = std::move(KvStore::Open(path)).value();
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.Get("a").status().IsNotFound());
+  EXPECT_EQ(*store.Get("b"), "2");
+  EXPECT_EQ(*store.Get("c"), "3");
+}
+
+TEST(KvStoreTest, ScanPrefixIsSortedAndBounded) {
+  auto store = std::move(KvStore::Open(TempPath("kv_scan.log"))).value();
+  for (const char* key : {"model/b", "model/a", "dataset/x", "model/c",
+                          "modelz"}) {
+    ASSERT_TRUE(store.Put(key, "v").ok());
+  }
+  EXPECT_EQ(store.ScanPrefix("model/"),
+            (std::vector<std::string>{"model/a", "model/b", "model/c"}));
+  EXPECT_EQ(store.ScanPrefix("nothing/").size(), 0u);
+  EXPECT_EQ(store.ScanPrefix("").size(), 5u);  // Empty prefix = everything.
+}
+
+TEST(KvStoreTest, CompactionShrinksLogAndPreservesContents) {
+  const std::string path = TempPath("kv_compact.log");
+  auto store = std::move(KvStore::Open(path)).value();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store.Put("churn", "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(store.Put("keep", "forever").ok());
+  ASSERT_TRUE(store.Delete("churn").ok());
+  EXPECT_GT(store.log_records(), 50u);
+
+  ASSERT_TRUE(store.Compact().ok());
+  EXPECT_EQ(store.log_records(), 1u);  // Only the live key remains.
+  EXPECT_EQ(*store.Get("keep"), "forever");
+
+  // The compacted log replays correctly.
+  auto reopened = std::move(KvStore::Open(path)).value();
+  EXPECT_EQ(reopened.size(), 1u);
+  EXPECT_EQ(*reopened.Get("keep"), "forever");
+}
+
+TEST(KvStoreTest, WritesAfterCompactionSurviveReopen) {
+  const std::string path = TempPath("kv_compact_append.log");
+  {
+    auto store = std::move(KvStore::Open(path)).value();
+    ASSERT_TRUE(store.Put("a", "1").ok());
+    ASSERT_TRUE(store.Compact().ok());
+    ASSERT_TRUE(store.Put("b", "2").ok());
+  }
+  auto store = std::move(KvStore::Open(path)).value();
+  EXPECT_EQ(*store.Get("a"), "1");
+  EXPECT_EQ(*store.Get("b"), "2");
+}
+
+TEST(KvStoreTest, RandomOpsMatchReferenceModel) {
+  // Property test: a random Put/Delete/Compact/Reopen workload agrees with
+  // std::map at every step.
+  const std::string path = TempPath("kv_model_check.log");
+  auto store_or = KvStore::Open(path);
+  ASSERT_TRUE(store_or.ok());
+  KvStore store = std::move(store_or).value();
+  std::map<std::string, std::string> reference;
+  Rng rng(2026);
+
+  for (int op = 0; op < 2000; ++op) {
+    const std::string key =
+        "k" + std::to_string(rng.UniformInt(uint64_t{40}));
+    const double dice = rng.Uniform();
+    if (dice < 0.55) {
+      const std::string value = "v" + std::to_string(op);
+      ASSERT_TRUE(store.Put(key, value).ok());
+      reference[key] = value;
+    } else if (dice < 0.85) {
+      ASSERT_TRUE(store.Delete(key).ok());
+      reference.erase(key);
+    } else if (dice < 0.95) {
+      ASSERT_TRUE(store.Compact().ok());
+    } else {
+      // Reopen from disk (crash-free restart).
+      auto reopened = KvStore::Open(path);
+      ASSERT_TRUE(reopened.ok());
+      store = std::move(reopened).value();
+    }
+    if (op % 100 == 0) {
+      ASSERT_EQ(store.size(), reference.size()) << "op " << op;
+      for (const auto& [k, v] : reference) {
+        ASSERT_EQ(*store.Get(k), v) << "op " << op << " key " << k;
+      }
+    }
+  }
+  EXPECT_EQ(store.size(), reference.size());
+}
+
+}  // namespace
+}  // namespace tps

@@ -1,0 +1,87 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace tps {
+namespace {
+
+TEST(FlagsTest, ParsesEqualsForm) {
+  auto flags = *FlagParser::Parse({"--name=value", "--num=42"});
+  EXPECT_TRUE(flags.Has("name"));
+  EXPECT_EQ(flags.GetString("name"), "value");
+  EXPECT_EQ(*flags.GetInt("num", 0), 42);
+}
+
+TEST(FlagsTest, ParsesSpaceForm) {
+  auto flags = *FlagParser::Parse({"--name", "value", "--other", "x"});
+  EXPECT_EQ(flags.GetString("name"), "value");
+  EXPECT_EQ(flags.GetString("other"), "x");
+  EXPECT_TRUE(flags.positionals().empty());
+}
+
+TEST(FlagsTest, BareFlagIsBooleanTrue) {
+  auto flags = *FlagParser::Parse({"--verbose", "--count=3"});
+  EXPECT_TRUE(*flags.GetBool("verbose", false));
+  EXPECT_FALSE(*flags.GetBool("absent", false));
+  EXPECT_TRUE(*flags.GetBool("absent", true));
+}
+
+TEST(FlagsTest, BoolValueForms) {
+  auto flags = *FlagParser::Parse(
+      {"--a=true", "--b=false", "--c=1", "--d=no", "--e=garbage"});
+  EXPECT_TRUE(*flags.GetBool("a", false));
+  EXPECT_FALSE(*flags.GetBool("b", true));
+  EXPECT_TRUE(*flags.GetBool("c", false));
+  EXPECT_FALSE(*flags.GetBool("d", true));
+  EXPECT_TRUE(flags.GetBool("e", false).status().IsInvalidArgument());
+}
+
+TEST(FlagsTest, PositionalsInterleaved) {
+  auto flags = *FlagParser::Parse({"select", "--k=5", "extra"});
+  EXPECT_EQ(flags.positionals(),
+            (std::vector<std::string>{"select", "extra"}));
+  EXPECT_EQ(*flags.GetInt("k", 0), 5);
+}
+
+TEST(FlagsTest, DoubleDashEndsFlagParsing) {
+  auto flags = *FlagParser::Parse({"--a=1", "--", "--b=2"});
+  EXPECT_TRUE(flags.Has("a"));
+  EXPECT_FALSE(flags.Has("b"));
+  EXPECT_EQ(flags.positionals(), (std::vector<std::string>{"--b=2"}));
+}
+
+TEST(FlagsTest, NumericValidation) {
+  auto flags = *FlagParser::Parse({"--n=abc", "--x=1.5", "--y=2z"});
+  EXPECT_TRUE(flags.GetInt("n", 0).status().IsInvalidArgument());
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("x", 0.0), 1.5);
+  EXPECT_TRUE(flags.GetDouble("y", 0.0).status().IsInvalidArgument());
+  EXPECT_EQ(*flags.GetInt("absent", -7), -7);
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("absent", 2.5), 2.5);
+}
+
+TEST(FlagsTest, ListFlag) {
+  auto flags = *FlagParser::Parse({"--proxies=leep,nce,knn"});
+  EXPECT_EQ(flags.GetList("proxies"),
+            (std::vector<std::string>{"leep", "nce", "knn"}));
+  EXPECT_TRUE(flags.GetList("absent").empty());
+}
+
+TEST(FlagsTest, MalformedFlagsRejected) {
+  EXPECT_TRUE(FlagParser::Parse({"--=x"}).status().IsInvalidArgument());
+  EXPECT_TRUE(FlagParser::Parse({"--name="}).status().IsInvalidArgument());
+}
+
+TEST(FlagsTest, ArgcArgvEntryPointSkipsProgramName) {
+  const char* argv[] = {"program", "cmd", "--k=3"};
+  auto flags = *FlagParser::Parse(3, argv);
+  EXPECT_EQ(flags.positionals(), (std::vector<std::string>{"cmd"}));
+  EXPECT_EQ(*flags.GetInt("k", 0), 3);
+}
+
+TEST(FlagsTest, LastOccurrenceWins) {
+  auto flags = *FlagParser::Parse({"--k=1", "--k=2"});
+  EXPECT_EQ(*flags.GetInt("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace tps

@@ -1,0 +1,423 @@
+// tps_cli — command-line front end for the two-phase model-selection
+// library. Mirrors the workflow a model-repository operator runs:
+//
+//   tps_cli offline  --domain=nlp --matrix=m.txt --clustering=c.txt
+//       Build the offline artifacts (performance matrix + model
+//       clustering) for the paper zoo and persist them.
+//
+//   tps_cli recall   --domain=nlp --matrix=m.txt --clustering=c.txt ...
+//                    --target=mnli [--k=10] [--proxy=leep | --proxies=a,b]
+//       Load the artifacts and print the coarse-recall ranking for a
+//       target dataset.
+//
+//   tps_cli select   --domain=nlp --matrix=m.txt --clustering=c.txt ...
+//                    --target=mnli [--k=10] [--threshold=0.0]
+//       Run the full two-phase selection and print the report.
+//
+//   tps_cli baselines --domain=nlp --target=mnli
+//       Compare brute force / successive halving / fine-selection /
+//       two-phase on one target (fresh offline build).
+//
+//   tps_cli datasets --domain=nlp | models --domain=cv | card --model=NAME
+//       Inventory inspection.
+//
+// All subcommands are deterministic; no flags are required beyond the ones
+// shown (defaults in brackets).
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/baselines.h"
+#include "core/evaluation.h"
+#include "core/report.h"
+#include "core/two_phase.h"
+#include "data/registry.h"
+#include "model/model_card.h"
+#include "model/paper_zoo.h"
+#include "store/model_store.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace tps {
+namespace cli {
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << std::endl;
+  return 1;
+}
+
+int Usage() {
+  std::cerr
+      << "usage: tps_cli <offline|recall|select|baselines|datasets|models|"
+         "card> [--flags]\n"
+         "run `head tools/tps_cli.cc` for the full flag reference\n";
+  return 2;
+}
+
+StatusOr<TaskDomain> DomainFromFlag(const FlagParser& flags) {
+  const std::string domain = strings::ToLower(
+      flags.GetString("domain", "nlp"));
+  if (domain == "nlp") return TaskDomain::kNLP;
+  if (domain == "cv") return TaskDomain::kCV;
+  return Status::InvalidArgument("--domain must be nlp or cv, got '" +
+                                 domain + "'");
+}
+
+StatusOr<ModelZoo> ZooFor(TaskDomain domain) {
+  return ModelZoo::Create(domain == TaskDomain::kNLP ? NlpPaperZooSpecs()
+                                                     : CvPaperZooSpecs());
+}
+
+struct LoadedWorld {
+  DatasetRegistry registry;
+  ModelZoo zoo;
+  PerformanceMatrix matrix;
+  ModelClustering clustering;
+  TaskDomain domain;
+};
+
+/// Loads previously persisted offline artifacts and validates they match
+/// the paper zoo for the domain.
+StatusOr<LoadedWorld> LoadWorld(const FlagParser& flags) {
+  TPS_ASSIGN_OR_RETURN(TaskDomain domain, DomainFromFlag(flags));
+  TPS_ASSIGN_OR_RETURN(DatasetRegistry registry,
+                       DatasetRegistry::CreatePaperInventory());
+  TPS_ASSIGN_OR_RETURN(ModelZoo zoo, ZooFor(domain));
+
+  // Artifacts come either from a model store (--store + --id) or from the
+  // plain-file pair (--matrix + --clustering).
+  const std::string store_path = flags.GetString("store");
+  auto load_matrix = [&]() -> StatusOr<PerformanceMatrix> {
+    if (!store_path.empty()) {
+      const std::string id =
+          flags.GetString("id", domain == TaskDomain::kNLP ? "nlp" : "cv");
+      TPS_ASSIGN_OR_RETURN(ModelStore store, ModelStore::Open(store_path));
+      return store.GetPerformanceMatrix(id);
+    }
+    const std::string matrix_path = flags.GetString("matrix");
+    if (matrix_path.empty()) {
+      return Status::InvalidArgument(
+          "--store or --matrix/--clustering paths are required (run "
+          "`tps_cli offline` first)");
+    }
+    return PerformanceMatrix::LoadFromFile(matrix_path);
+  };
+  auto load_clustering = [&]() -> StatusOr<ModelClustering> {
+    if (!store_path.empty()) {
+      const std::string id =
+          flags.GetString("id", domain == TaskDomain::kNLP ? "nlp" : "cv");
+      TPS_ASSIGN_OR_RETURN(ModelStore store, ModelStore::Open(store_path));
+      return store.GetClustering(id);
+    }
+    const std::string clustering_path = flags.GetString("clustering");
+    if (clustering_path.empty()) {
+      return Status::InvalidArgument(
+          "--store or --matrix/--clustering paths are required (run "
+          "`tps_cli offline` first)");
+    }
+    return LoadClustering(clustering_path);
+  };
+  TPS_ASSIGN_OR_RETURN(PerformanceMatrix matrix, load_matrix());
+  TPS_ASSIGN_OR_RETURN(ModelClustering clustering, load_clustering());
+  if (matrix.num_models() != zoo.size() ||
+      clustering.clusters.assignments.size() != zoo.size()) {
+    return Status::FailedPrecondition(
+        "artifacts do not match the " + std::string(ToString(domain)) +
+        " paper zoo; rebuild with `tps_cli offline`");
+  }
+  return LoadedWorld{std::move(registry), std::move(zoo), std::move(matrix),
+                     std::move(clustering), domain};
+}
+
+int RunOffline(const FlagParser& flags) {
+  auto domain_or = DomainFromFlag(flags);
+  if (!domain_or.ok()) return Fail(domain_or.status());
+  const TaskDomain domain = *domain_or;
+  const std::string matrix_path =
+      flags.GetString("matrix", "tps_matrix.txt");
+  const std::string clustering_path =
+      flags.GetString("clustering", "tps_clustering.txt");
+
+  auto registry_or = DatasetRegistry::CreatePaperInventory();
+  if (!registry_or.ok()) return Fail(registry_or.status());
+  auto zoo_or = ZooFor(domain);
+  if (!zoo_or.ok()) return Fail(zoo_or.status());
+
+  FineTuneSimulator simulator;
+  auto matrix_or = PerformanceMatrix::Build(
+      *zoo_or, registry_or->Benchmarks(domain), simulator,
+      Hyperparams::DefaultsFor(domain));
+  if (!matrix_or.ok()) return Fail(matrix_or.status());
+
+  ModelClusteringOptions options;
+  auto threshold_or =
+      flags.GetDouble("threshold", options.distance_threshold);
+  if (!threshold_or.ok()) return Fail(threshold_or.status());
+  options.distance_threshold = *threshold_or;
+  auto topk_or = flags.GetInt("topk", static_cast<int64_t>(options.top_k));
+  if (!topk_or.ok()) return Fail(topk_or.status());
+  options.top_k = static_cast<size_t>(*topk_or);
+
+  auto clustering_or = ClusterModels(*matrix_or, *zoo_or, options);
+  if (!clustering_or.ok()) return Fail(clustering_or.status());
+
+  // Optionally also register everything in a model store.
+  const std::string store_path = flags.GetString("store");
+  if (!store_path.empty()) {
+    const std::string id =
+        flags.GetString("id", domain == TaskDomain::kNLP ? "nlp" : "cv");
+    auto store_or = ModelStore::Open(store_path);
+    if (!store_or.ok()) return Fail(store_or.status());
+    ModelStore store = std::move(store_or).value();
+    for (const PretrainedModel& model : zoo_or->models()) {
+      Status put = store.PutModelSpec(model.spec());
+      if (!put.ok()) return Fail(put);
+    }
+    for (const Dataset& dataset : registry_or->datasets()) {
+      if (dataset.spec().domain != domain) continue;
+      Status put = store.PutDatasetSpec(dataset.spec());
+      if (!put.ok()) return Fail(put);
+    }
+    Status put = store.PutPerformanceMatrix(id, *matrix_or);
+    if (!put.ok()) return Fail(put);
+    put = store.PutClustering(id, *clustering_or);
+    if (!put.ok()) return Fail(put);
+    std::cout << "model store -> " << store_path << " (id " << id << ", "
+              << store.size() << " entries)\n";
+  }
+
+  Status save = matrix_or->SaveToFile(matrix_path);
+  if (!save.ok()) return Fail(save);
+  save = SaveClustering(*clustering_or, clustering_path);
+  if (!save.ok()) return Fail(save);
+
+  std::cout << "offline artifacts for " << ToString(domain) << ": "
+            << matrix_or->num_models() << " models x "
+            << matrix_or->num_datasets() << " benchmarks\n"
+            << "  performance matrix -> " << matrix_path << "\n"
+            << "  model clustering   -> " << clustering_path << " ("
+            << clustering_or->NonSingletonClusters().size()
+            << " non-singleton clusters)\n";
+  return 0;
+}
+
+int RunRecall(const FlagParser& flags) {
+  auto world_or = LoadWorld(flags);
+  if (!world_or.ok()) return Fail(world_or.status());
+  LoadedWorld& world = *world_or;
+  const std::string target_name = flags.GetString("target");
+  auto target_or = world.registry.Find(target_name);
+  if (!target_or.ok()) return Fail(target_or.status());
+
+  RecallOptions options;
+  auto k_or = flags.GetInt("k", 10);
+  if (!k_or.ok()) return Fail(k_or.status());
+  options.top_k_models = static_cast<size_t>(*k_or);
+  options.proxy = flags.GetString("proxy", "leep");
+  options.proxies = flags.GetList("proxies");
+
+  CoarseRecall recall(&world.zoo, &world.matrix, &world.clustering);
+  EpochBudget budget;
+  auto result_or = recall.Recall(**target_or, options, &budget);
+  if (!result_or.ok()) return Fail(result_or.status());
+
+  TablePrinter table({"rank", "model", "recall score", "prior acc",
+                      "proxy", "propagated"});
+  for (size_t r = 0; r < options.top_k_models &&
+                     r < result_or->ranked.size();
+       ++r) {
+    const RecallEntry& entry = result_or->ranked[r];
+    table.AddRow({std::to_string(r),
+                  world.zoo.model(entry.model_index).name(),
+                  strings::FormatDouble(entry.recall_score, 4),
+                  strings::FormatDouble(entry.prior_accuracy, 4),
+                  strings::FormatDouble(entry.proxy_component, 4),
+                  entry.via_propagation ? "yes" : "no"});
+  }
+  table.Print(std::cout);
+  std::cout << "proxy inference cost: " << budget.inference_epochs()
+            << " epoch-equivalents (" << result_or->proxies_computed
+            << " forward passes)\n";
+  return 0;
+}
+
+int RunSelect(const FlagParser& flags) {
+  auto world_or = LoadWorld(flags);
+  if (!world_or.ok()) return Fail(world_or.status());
+  LoadedWorld& world = *world_or;
+  auto target_or = world.registry.Find(flags.GetString("target"));
+  if (!target_or.ok()) return Fail(target_or.status());
+
+  TwoPhaseOptions options;
+  auto k_or = flags.GetInt("k", 10);
+  if (!k_or.ok()) return Fail(k_or.status());
+  options.recall.top_k_models = static_cast<size_t>(*k_or);
+  auto threshold_or = flags.GetDouble("threshold", 0.0);
+  if (!threshold_or.ok()) return Fail(threshold_or.status());
+  options.fine_selection.threshold = *threshold_or;
+
+  FineTuneSimulator simulator;
+  TwoPhaseSelector selector(&world.zoo, &world.matrix, &world.clustering,
+                            &simulator);
+  auto report_or = selector.Select(**target_or, options);
+  if (!report_or.ok()) return Fail(report_or.status());
+
+  const TwoPhaseReport& report = *report_or;
+  std::cout << "selected: "
+            << world.zoo.model(report.selection.selected_model).name()
+            << "\naccuracy: " << report.selection.selected_accuracy
+            << "\nsurvivors per epoch:";
+  for (size_t n : report.selection.survivors_per_stage) {
+    std::cout << " " << n;
+  }
+  std::cout << "\ncost: " << report.budget.total_epochs()
+            << " epoch-equivalents (" << report.budget.training_epochs()
+            << " training + " << report.budget.inference_epochs()
+            << " proxy)\n";
+
+  const std::string report_path = flags.GetString("report");
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out) {
+      return Fail(Status::IOError("cannot write report: " + report_path));
+    }
+    out << RenderSelectionReport(report, world.zoo, **target_or);
+    std::cout << "markdown report -> " << report_path << "\n";
+  }
+  return 0;
+}
+
+int RunBaselines(const FlagParser& flags) {
+  auto domain_or = DomainFromFlag(flags);
+  if (!domain_or.ok()) return Fail(domain_or.status());
+  const TaskDomain domain = *domain_or;
+  auto registry_or = DatasetRegistry::CreatePaperInventory();
+  if (!registry_or.ok()) return Fail(registry_or.status());
+  auto target_or = registry_or->Find(flags.GetString("target"));
+  if (!target_or.ok()) return Fail(target_or.status());
+  auto zoo_or = ZooFor(domain);
+  if (!zoo_or.ok()) return Fail(zoo_or.status());
+
+  FineTuneSimulator simulator;
+  const Hyperparams hp = Hyperparams::DefaultsFor(domain);
+  auto matrix_or = PerformanceMatrix::Build(
+      *zoo_or, registry_or->Benchmarks(domain), simulator, hp);
+  if (!matrix_or.ok()) return Fail(matrix_or.status());
+  auto clustering_or =
+      ClusterModels(*matrix_or, *zoo_or, ModelClusteringOptions());
+  if (!clustering_or.ok()) return Fail(clustering_or.status());
+
+  std::vector<size_t> all(zoo_or->size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+
+  TablePrinter table({"method", "epochs", "selected model", "accuracy"});
+  {
+    BruteForceSelector bf(&*zoo_or, &simulator);
+    EpochBudget budget;
+    auto outcome = bf.Select(all, **target_or, hp, &budget);
+    if (!outcome.ok()) return Fail(outcome.status());
+    table.AddRow({"brute force",
+                  strings::FormatDouble(budget.total_epochs(), 1),
+                  zoo_or->model(outcome->selected_model).name(),
+                  strings::FormatDouble(outcome->selected_accuracy, 4)});
+  }
+  {
+    SuccessiveHalvingSelector sh(&*zoo_or, &simulator);
+    EpochBudget budget;
+    auto outcome = sh.Select(all, **target_or, hp, &budget);
+    if (!outcome.ok()) return Fail(outcome.status());
+    table.AddRow({"successive halving",
+                  strings::FormatDouble(budget.total_epochs(), 1),
+                  zoo_or->model(outcome->selected_model).name(),
+                  strings::FormatDouble(outcome->selected_accuracy, 4)});
+  }
+  {
+    TwoPhaseSelector selector(&*zoo_or, &*matrix_or, &*clustering_or,
+                              &simulator);
+    auto report = selector.Select(**target_or, TwoPhaseOptions(), hp);
+    if (!report.ok()) return Fail(report.status());
+    table.AddRow(
+        {"two-phase (CR+FS)",
+         strings::FormatDouble(report->budget.total_epochs(), 1),
+         zoo_or->model(report->selection.selected_model).name(),
+         strings::FormatDouble(report->selection.selected_accuracy, 4)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int RunDatasets(const FlagParser& flags) {
+  auto domain_or = DomainFromFlag(flags);
+  if (!domain_or.ok()) return Fail(domain_or.status());
+  auto registry_or = DatasetRegistry::CreatePaperInventory();
+  if (!registry_or.ok()) return Fail(registry_or.status());
+  TablePrinter table({"dataset", "role", "labels", "difficulty", "tags"});
+  for (const Dataset& ds : registry_or->datasets()) {
+    if (ds.spec().domain != *domain_or) continue;
+    table.AddRow({ds.name(), ToString(ds.spec().role),
+                  std::to_string(ds.spec().num_labels),
+                  strings::FormatDouble(ds.spec().difficulty, 2),
+                  strings::Join(ds.spec().tags, " ")});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int RunModels(const FlagParser& flags) {
+  auto domain_or = DomainFromFlag(flags);
+  if (!domain_or.ok()) return Fail(domain_or.status());
+  auto zoo_or = ZooFor(*domain_or);
+  if (!zoo_or.ok()) return Fail(zoo_or.status());
+  TablePrinter table({"model", "family", "params (M)", "capability",
+                      "fine-tune tags"});
+  for (const PretrainedModel& model : zoo_or->models()) {
+    table.AddRow({model.name(), model.spec().family,
+                  strings::FormatDouble(model.spec().scale_millions, 0),
+                  strings::FormatDouble(model.capability(), 3),
+                  strings::Join(model.spec().finetune_tags, " ")});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int RunCard(const FlagParser& flags) {
+  const std::string name = flags.GetString("model");
+  if (name.empty()) {
+    return Fail(Status::InvalidArgument("--model is required"));
+  }
+  for (TaskDomain domain : {TaskDomain::kNLP, TaskDomain::kCV}) {
+    auto zoo_or = ZooFor(domain);
+    if (!zoo_or.ok()) return Fail(zoo_or.status());
+    auto model_or = zoo_or->Find(name);
+    if (model_or.ok()) {
+      std::cout << GenerateModelCard((*model_or)->spec());
+      return 0;
+    }
+  }
+  return Fail(Status::NotFound("model not found in either zoo: " + name));
+}
+
+int Main(int argc, char** argv) {
+  auto flags_or = FlagParser::Parse(argc, argv);
+  if (!flags_or.ok()) return Fail(flags_or.status());
+  const FlagParser& flags = *flags_or;
+  if (flags.positionals().empty()) return Usage();
+  const std::string command = flags.positionals()[0];
+  if (command == "offline") return RunOffline(flags);
+  if (command == "recall") return RunRecall(flags);
+  if (command == "select") return RunSelect(flags);
+  if (command == "baselines") return RunBaselines(flags);
+  if (command == "datasets") return RunDatasets(flags);
+  if (command == "models") return RunModels(flags);
+  if (command == "card") return RunCard(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace tps
+
+int main(int argc, char** argv) { return tps::cli::Main(argc, argv); }
