@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_benchmark_subset.dir/bench_ablation_benchmark_subset.cc.o"
+  "CMakeFiles/bench_ablation_benchmark_subset.dir/bench_ablation_benchmark_subset.cc.o.d"
+  "bench_ablation_benchmark_subset"
+  "bench_ablation_benchmark_subset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_benchmark_subset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

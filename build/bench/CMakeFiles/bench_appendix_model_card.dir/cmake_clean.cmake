@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_model_card.dir/bench_appendix_model_card.cc.o"
+  "CMakeFiles/bench_appendix_model_card.dir/bench_appendix_model_card.cc.o.d"
+  "bench_appendix_model_card"
+  "bench_appendix_model_card.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_model_card.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_convergence_trends.dir/bench_fig4_convergence_trends.cc.o"
+  "CMakeFiles/bench_fig4_convergence_trends.dir/bench_fig4_convergence_trends.cc.o.d"
+  "bench_fig4_convergence_trends"
+  "bench_fig4_convergence_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_convergence_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_zoo_size.dir/bench_scaling_zoo_size.cc.o"
+  "CMakeFiles/bench_scaling_zoo_size.dir/bench_scaling_zoo_size.cc.o.d"
+  "bench_scaling_zoo_size"
+  "bench_scaling_zoo_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_zoo_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

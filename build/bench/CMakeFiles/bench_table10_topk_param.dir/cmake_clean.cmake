@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_topk_param.dir/bench_table10_topk_param.cc.o"
+  "CMakeFiles/bench_table10_topk_param.dir/bench_table10_topk_param.cc.o.d"
+  "bench_table10_topk_param"
+  "bench_table10_topk_param.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_topk_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_kmeans_membership.dir/bench_table11_kmeans_membership.cc.o"
+  "CMakeFiles/bench_table11_kmeans_membership.dir/bench_table11_kmeans_membership.cc.o.d"
+  "bench_table11_kmeans_membership"
+  "bench_table11_kmeans_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_kmeans_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

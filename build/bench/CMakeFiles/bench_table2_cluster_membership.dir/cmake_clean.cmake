@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cluster_membership.dir/bench_table2_cluster_membership.cc.o"
+  "CMakeFiles/bench_table2_cluster_membership.dir/bench_table2_cluster_membership.cc.o.d"
+  "bench_table2_cluster_membership"
+  "bench_table2_cluster_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cluster_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

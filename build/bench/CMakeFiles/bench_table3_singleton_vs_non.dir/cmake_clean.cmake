@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_singleton_vs_non.dir/bench_table3_singleton_vs_non.cc.o"
+  "CMakeFiles/bench_table3_singleton_vs_non.dir/bench_table3_singleton_vs_non.cc.o.d"
+  "bench_table3_singleton_vs_non"
+  "bench_table3_singleton_vs_non.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_singleton_vs_non.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_threshold.dir/bench_table4_threshold.cc.o"
+  "CMakeFiles/bench_table4_threshold.dir/bench_table4_threshold.cc.o.d"
+  "bench_table4_threshold"
+  "bench_table4_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

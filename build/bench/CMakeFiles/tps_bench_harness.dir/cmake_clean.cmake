@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tps_bench_harness.dir/curve_report.cc.o"
+  "CMakeFiles/tps_bench_harness.dir/curve_report.cc.o.d"
+  "CMakeFiles/tps_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/tps_bench_harness.dir/harness.cc.o.d"
+  "libtps_bench_harness.a"
+  "libtps_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tps_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_model_selection.dir/cv_model_selection.cpp.o"
+  "CMakeFiles/cv_model_selection.dir/cv_model_selection.cpp.o.d"
+  "cv_model_selection"
+  "cv_model_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_model_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlp_model_selection.dir/nlp_model_selection.cpp.o"
+  "CMakeFiles/nlp_model_selection.dir/nlp_model_selection.cpp.o.d"
+  "nlp_model_selection"
+  "nlp_model_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlp_model_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

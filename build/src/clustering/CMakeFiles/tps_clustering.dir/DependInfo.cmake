@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clustering/distance.cc" "src/clustering/CMakeFiles/tps_clustering.dir/distance.cc.o" "gcc" "src/clustering/CMakeFiles/tps_clustering.dir/distance.cc.o.d"
+  "/root/repo/src/clustering/hierarchical.cc" "src/clustering/CMakeFiles/tps_clustering.dir/hierarchical.cc.o" "gcc" "src/clustering/CMakeFiles/tps_clustering.dir/hierarchical.cc.o.d"
+  "/root/repo/src/clustering/kmeans.cc" "src/clustering/CMakeFiles/tps_clustering.dir/kmeans.cc.o" "gcc" "src/clustering/CMakeFiles/tps_clustering.dir/kmeans.cc.o.d"
+  "/root/repo/src/clustering/rand_index.cc" "src/clustering/CMakeFiles/tps_clustering.dir/rand_index.cc.o" "gcc" "src/clustering/CMakeFiles/tps_clustering.dir/rand_index.cc.o.d"
+  "/root/repo/src/clustering/silhouette.cc" "src/clustering/CMakeFiles/tps_clustering.dir/silhouette.cc.o" "gcc" "src/clustering/CMakeFiles/tps_clustering.dir/silhouette.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/tps_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

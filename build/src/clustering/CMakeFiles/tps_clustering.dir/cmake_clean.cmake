@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tps_clustering.dir/distance.cc.o"
+  "CMakeFiles/tps_clustering.dir/distance.cc.o.d"
+  "CMakeFiles/tps_clustering.dir/hierarchical.cc.o"
+  "CMakeFiles/tps_clustering.dir/hierarchical.cc.o.d"
+  "CMakeFiles/tps_clustering.dir/kmeans.cc.o"
+  "CMakeFiles/tps_clustering.dir/kmeans.cc.o.d"
+  "CMakeFiles/tps_clustering.dir/rand_index.cc.o"
+  "CMakeFiles/tps_clustering.dir/rand_index.cc.o.d"
+  "CMakeFiles/tps_clustering.dir/silhouette.cc.o"
+  "CMakeFiles/tps_clustering.dir/silhouette.cc.o.d"
+  "libtps_clustering.a"
+  "libtps_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tps_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

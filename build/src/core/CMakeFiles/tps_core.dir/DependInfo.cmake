@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/tps_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/tps_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/benchmark_selection.cc" "src/core/CMakeFiles/tps_core.dir/benchmark_selection.cc.o" "gcc" "src/core/CMakeFiles/tps_core.dir/benchmark_selection.cc.o.d"
+  "/root/repo/src/core/coarse_recall.cc" "src/core/CMakeFiles/tps_core.dir/coarse_recall.cc.o" "gcc" "src/core/CMakeFiles/tps_core.dir/coarse_recall.cc.o.d"
+  "/root/repo/src/core/convergence_trend.cc" "src/core/CMakeFiles/tps_core.dir/convergence_trend.cc.o" "gcc" "src/core/CMakeFiles/tps_core.dir/convergence_trend.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/tps_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/tps_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/core/fine_selection.cc" "src/core/CMakeFiles/tps_core.dir/fine_selection.cc.o" "gcc" "src/core/CMakeFiles/tps_core.dir/fine_selection.cc.o.d"
+  "/root/repo/src/core/hyperband.cc" "src/core/CMakeFiles/tps_core.dir/hyperband.cc.o" "gcc" "src/core/CMakeFiles/tps_core.dir/hyperband.cc.o.d"
+  "/root/repo/src/core/model_clusterer.cc" "src/core/CMakeFiles/tps_core.dir/model_clusterer.cc.o" "gcc" "src/core/CMakeFiles/tps_core.dir/model_clusterer.cc.o.d"
+  "/root/repo/src/core/performance_matrix.cc" "src/core/CMakeFiles/tps_core.dir/performance_matrix.cc.o" "gcc" "src/core/CMakeFiles/tps_core.dir/performance_matrix.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/core/CMakeFiles/tps_core.dir/planner.cc.o" "gcc" "src/core/CMakeFiles/tps_core.dir/planner.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/tps_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/tps_core.dir/report.cc.o.d"
+  "/root/repo/src/core/task_similarity.cc" "src/core/CMakeFiles/tps_core.dir/task_similarity.cc.o" "gcc" "src/core/CMakeFiles/tps_core.dir/task_similarity.cc.o.d"
+  "/root/repo/src/core/two_phase.cc" "src/core/CMakeFiles/tps_core.dir/two_phase.cc.o" "gcc" "src/core/CMakeFiles/tps_core.dir/two_phase.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clustering/CMakeFiles/tps_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/tps_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/tps_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/tps_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tps_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/tps_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tps_core.dir/baselines.cc.o"
+  "CMakeFiles/tps_core.dir/baselines.cc.o.d"
+  "CMakeFiles/tps_core.dir/benchmark_selection.cc.o"
+  "CMakeFiles/tps_core.dir/benchmark_selection.cc.o.d"
+  "CMakeFiles/tps_core.dir/coarse_recall.cc.o"
+  "CMakeFiles/tps_core.dir/coarse_recall.cc.o.d"
+  "CMakeFiles/tps_core.dir/convergence_trend.cc.o"
+  "CMakeFiles/tps_core.dir/convergence_trend.cc.o.d"
+  "CMakeFiles/tps_core.dir/evaluation.cc.o"
+  "CMakeFiles/tps_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/tps_core.dir/fine_selection.cc.o"
+  "CMakeFiles/tps_core.dir/fine_selection.cc.o.d"
+  "CMakeFiles/tps_core.dir/hyperband.cc.o"
+  "CMakeFiles/tps_core.dir/hyperband.cc.o.d"
+  "CMakeFiles/tps_core.dir/model_clusterer.cc.o"
+  "CMakeFiles/tps_core.dir/model_clusterer.cc.o.d"
+  "CMakeFiles/tps_core.dir/performance_matrix.cc.o"
+  "CMakeFiles/tps_core.dir/performance_matrix.cc.o.d"
+  "CMakeFiles/tps_core.dir/planner.cc.o"
+  "CMakeFiles/tps_core.dir/planner.cc.o.d"
+  "CMakeFiles/tps_core.dir/report.cc.o"
+  "CMakeFiles/tps_core.dir/report.cc.o.d"
+  "CMakeFiles/tps_core.dir/task_similarity.cc.o"
+  "CMakeFiles/tps_core.dir/task_similarity.cc.o.d"
+  "CMakeFiles/tps_core.dir/two_phase.cc.o"
+  "CMakeFiles/tps_core.dir/two_phase.cc.o.d"
+  "libtps_core.a"
+  "libtps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

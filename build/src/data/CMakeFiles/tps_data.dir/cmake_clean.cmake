@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tps_data.dir/dataset.cc.o"
+  "CMakeFiles/tps_data.dir/dataset.cc.o.d"
+  "CMakeFiles/tps_data.dir/latent.cc.o"
+  "CMakeFiles/tps_data.dir/latent.cc.o.d"
+  "CMakeFiles/tps_data.dir/registry.cc.o"
+  "CMakeFiles/tps_data.dir/registry.cc.o.d"
+  "libtps_data.a"
+  "libtps_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tps_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tps_embedding.dir/text_embedder.cc.o"
+  "CMakeFiles/tps_embedding.dir/text_embedder.cc.o.d"
+  "libtps_embedding.a"
+  "libtps_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tps_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tps_matrix.dir/eigen.cc.o"
+  "CMakeFiles/tps_matrix.dir/eigen.cc.o.d"
+  "CMakeFiles/tps_matrix.dir/matrix.cc.o"
+  "CMakeFiles/tps_matrix.dir/matrix.cc.o.d"
+  "CMakeFiles/tps_matrix.dir/vector_ops.cc.o"
+  "CMakeFiles/tps_matrix.dir/vector_ops.cc.o.d"
+  "libtps_matrix.a"
+  "libtps_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tps_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/model_card.cc" "src/model/CMakeFiles/tps_model.dir/model_card.cc.o" "gcc" "src/model/CMakeFiles/tps_model.dir/model_card.cc.o.d"
+  "/root/repo/src/model/paper_zoo.cc" "src/model/CMakeFiles/tps_model.dir/paper_zoo.cc.o" "gcc" "src/model/CMakeFiles/tps_model.dir/paper_zoo.cc.o.d"
+  "/root/repo/src/model/pretrained_model.cc" "src/model/CMakeFiles/tps_model.dir/pretrained_model.cc.o" "gcc" "src/model/CMakeFiles/tps_model.dir/pretrained_model.cc.o.d"
+  "/root/repo/src/model/zoo.cc" "src/model/CMakeFiles/tps_model.dir/zoo.cc.o" "gcc" "src/model/CMakeFiles/tps_model.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/tps_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/tps_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

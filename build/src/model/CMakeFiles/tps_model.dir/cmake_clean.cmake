@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tps_model.dir/model_card.cc.o"
+  "CMakeFiles/tps_model.dir/model_card.cc.o.d"
+  "CMakeFiles/tps_model.dir/paper_zoo.cc.o"
+  "CMakeFiles/tps_model.dir/paper_zoo.cc.o.d"
+  "CMakeFiles/tps_model.dir/pretrained_model.cc.o"
+  "CMakeFiles/tps_model.dir/pretrained_model.cc.o.d"
+  "CMakeFiles/tps_model.dir/zoo.cc.o"
+  "CMakeFiles/tps_model.dir/zoo.cc.o.d"
+  "libtps_model.a"
+  "libtps_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tps_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

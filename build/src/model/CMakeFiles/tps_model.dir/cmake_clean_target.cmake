@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtps_model.a"
+)

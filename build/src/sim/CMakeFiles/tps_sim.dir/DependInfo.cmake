@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ensemble.cc" "src/sim/CMakeFiles/tps_sim.dir/ensemble.cc.o" "gcc" "src/sim/CMakeFiles/tps_sim.dir/ensemble.cc.o.d"
+  "/root/repo/src/sim/finetune_simulator.cc" "src/sim/CMakeFiles/tps_sim.dir/finetune_simulator.cc.o" "gcc" "src/sim/CMakeFiles/tps_sim.dir/finetune_simulator.cc.o.d"
+  "/root/repo/src/sim/transfer_oracle.cc" "src/sim/CMakeFiles/tps_sim.dir/transfer_oracle.cc.o" "gcc" "src/sim/CMakeFiles/tps_sim.dir/transfer_oracle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/tps_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tps_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/tps_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tps_sim.dir/ensemble.cc.o"
+  "CMakeFiles/tps_sim.dir/ensemble.cc.o.d"
+  "CMakeFiles/tps_sim.dir/finetune_simulator.cc.o"
+  "CMakeFiles/tps_sim.dir/finetune_simulator.cc.o.d"
+  "CMakeFiles/tps_sim.dir/transfer_oracle.cc.o"
+  "CMakeFiles/tps_sim.dir/transfer_oracle.cc.o.d"
+  "libtps_sim.a"
+  "libtps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

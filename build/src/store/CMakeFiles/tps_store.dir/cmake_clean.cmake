@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tps_store.dir/kv_store.cc.o"
+  "CMakeFiles/tps_store.dir/kv_store.cc.o.d"
+  "CMakeFiles/tps_store.dir/model_store.cc.o"
+  "CMakeFiles/tps_store.dir/model_store.cc.o.d"
+  "CMakeFiles/tps_store.dir/record_log.cc.o"
+  "CMakeFiles/tps_store.dir/record_log.cc.o.d"
+  "CMakeFiles/tps_store.dir/spec_serialization.cc.o"
+  "CMakeFiles/tps_store.dir/spec_serialization.cc.o.d"
+  "libtps_store.a"
+  "libtps_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tps_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

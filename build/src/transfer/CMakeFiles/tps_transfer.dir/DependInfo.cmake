@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transfer/knn_proxy.cc" "src/transfer/CMakeFiles/tps_transfer.dir/knn_proxy.cc.o" "gcc" "src/transfer/CMakeFiles/tps_transfer.dir/knn_proxy.cc.o.d"
+  "/root/repo/src/transfer/leep.cc" "src/transfer/CMakeFiles/tps_transfer.dir/leep.cc.o" "gcc" "src/transfer/CMakeFiles/tps_transfer.dir/leep.cc.o.d"
+  "/root/repo/src/transfer/logme.cc" "src/transfer/CMakeFiles/tps_transfer.dir/logme.cc.o" "gcc" "src/transfer/CMakeFiles/tps_transfer.dir/logme.cc.o.d"
+  "/root/repo/src/transfer/nce.cc" "src/transfer/CMakeFiles/tps_transfer.dir/nce.cc.o" "gcc" "src/transfer/CMakeFiles/tps_transfer.dir/nce.cc.o.d"
+  "/root/repo/src/transfer/proxy_scorer.cc" "src/transfer/CMakeFiles/tps_transfer.dir/proxy_scorer.cc.o" "gcc" "src/transfer/CMakeFiles/tps_transfer.dir/proxy_scorer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/tps_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tps_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/tps_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

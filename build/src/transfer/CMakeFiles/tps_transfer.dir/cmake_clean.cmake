@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tps_transfer.dir/knn_proxy.cc.o"
+  "CMakeFiles/tps_transfer.dir/knn_proxy.cc.o.d"
+  "CMakeFiles/tps_transfer.dir/leep.cc.o"
+  "CMakeFiles/tps_transfer.dir/leep.cc.o.d"
+  "CMakeFiles/tps_transfer.dir/logme.cc.o"
+  "CMakeFiles/tps_transfer.dir/logme.cc.o.d"
+  "CMakeFiles/tps_transfer.dir/nce.cc.o"
+  "CMakeFiles/tps_transfer.dir/nce.cc.o.d"
+  "CMakeFiles/tps_transfer.dir/proxy_scorer.cc.o"
+  "CMakeFiles/tps_transfer.dir/proxy_scorer.cc.o.d"
+  "libtps_transfer.a"
+  "libtps_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tps_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tps_util.dir/crc32.cc.o"
+  "CMakeFiles/tps_util.dir/crc32.cc.o.d"
+  "CMakeFiles/tps_util.dir/csv_writer.cc.o"
+  "CMakeFiles/tps_util.dir/csv_writer.cc.o.d"
+  "CMakeFiles/tps_util.dir/flags.cc.o"
+  "CMakeFiles/tps_util.dir/flags.cc.o.d"
+  "CMakeFiles/tps_util.dir/logging.cc.o"
+  "CMakeFiles/tps_util.dir/logging.cc.o.d"
+  "CMakeFiles/tps_util.dir/rng.cc.o"
+  "CMakeFiles/tps_util.dir/rng.cc.o.d"
+  "CMakeFiles/tps_util.dir/stats.cc.o"
+  "CMakeFiles/tps_util.dir/stats.cc.o.d"
+  "CMakeFiles/tps_util.dir/status.cc.o"
+  "CMakeFiles/tps_util.dir/status.cc.o.d"
+  "CMakeFiles/tps_util.dir/string_util.cc.o"
+  "CMakeFiles/tps_util.dir/string_util.cc.o.d"
+  "CMakeFiles/tps_util.dir/table_printer.cc.o"
+  "CMakeFiles/tps_util.dir/table_printer.cc.o.d"
+  "libtps_util.a"
+  "libtps_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tps_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_selection_test.dir/core/benchmark_selection_test.cc.o"
+  "CMakeFiles/benchmark_selection_test.dir/core/benchmark_selection_test.cc.o.d"
+  "benchmark_selection_test"
+  "benchmark_selection_test.pdb"
+  "benchmark_selection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_persistence_test.dir/core/clustering_persistence_test.cc.o"
+  "CMakeFiles/clustering_persistence_test.dir/core/clustering_persistence_test.cc.o.d"
+  "clustering_persistence_test"
+  "clustering_persistence_test.pdb"
+  "clustering_persistence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarse_recall_test.dir/core/coarse_recall_test.cc.o"
+  "CMakeFiles/coarse_recall_test.dir/core/coarse_recall_test.cc.o.d"
+  "coarse_recall_test"
+  "coarse_recall_test.pdb"
+  "coarse_recall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarse_recall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convergence_trend_test.dir/core/convergence_trend_test.cc.o"
+  "CMakeFiles/convergence_trend_test.dir/core/convergence_trend_test.cc.o.d"
+  "convergence_trend_test"
+  "convergence_trend_test.pdb"
+  "convergence_trend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergence_trend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curve_properties_test.dir/sim/curve_properties_test.cc.o"
+  "CMakeFiles/curve_properties_test.dir/sim/curve_properties_test.cc.o.d"
+  "curve_properties_test"
+  "curve_properties_test.pdb"
+  "curve_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curve_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

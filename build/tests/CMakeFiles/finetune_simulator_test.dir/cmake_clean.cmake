@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finetune_simulator_test.dir/sim/finetune_simulator_test.cc.o"
+  "CMakeFiles/finetune_simulator_test.dir/sim/finetune_simulator_test.cc.o.d"
+  "finetune_simulator_test"
+  "finetune_simulator_test.pdb"
+  "finetune_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finetune_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_proxy_test.dir/transfer/knn_proxy_test.cc.o"
+  "CMakeFiles/knn_proxy_test.dir/transfer/knn_proxy_test.cc.o.d"
+  "knn_proxy_test"
+  "knn_proxy_test.pdb"
+  "knn_proxy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_proxy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

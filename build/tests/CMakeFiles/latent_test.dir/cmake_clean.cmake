@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latent_test.dir/data/latent_test.cc.o"
+  "CMakeFiles/latent_test.dir/data/latent_test.cc.o.d"
+  "latent_test"
+  "latent_test.pdb"
+  "latent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leep_test.dir/transfer/leep_test.cc.o"
+  "CMakeFiles/leep_test.dir/transfer/leep_test.cc.o.d"
+  "leep_test"
+  "leep_test.pdb"
+  "leep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

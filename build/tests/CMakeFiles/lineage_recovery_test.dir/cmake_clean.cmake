@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lineage_recovery_test.dir/clustering/lineage_recovery_test.cc.o"
+  "CMakeFiles/lineage_recovery_test.dir/clustering/lineage_recovery_test.cc.o.d"
+  "lineage_recovery_test"
+  "lineage_recovery_test.pdb"
+  "lineage_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lineage_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logme_test.dir/transfer/logme_test.cc.o"
+  "CMakeFiles/logme_test.dir/transfer/logme_test.cc.o.d"
+  "logme_test"
+  "logme_test.pdb"
+  "logme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

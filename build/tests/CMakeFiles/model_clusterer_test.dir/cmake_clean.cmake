@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_clusterer_test.dir/core/model_clusterer_test.cc.o"
+  "CMakeFiles/model_clusterer_test.dir/core/model_clusterer_test.cc.o.d"
+  "model_clusterer_test"
+  "model_clusterer_test.pdb"
+  "model_clusterer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_clusterer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/store/model_store_test.cc" "tests/CMakeFiles/model_store_test.dir/store/model_store_test.cc.o" "gcc" "tests/CMakeFiles/model_store_test.dir/store/model_store_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/store/CMakeFiles/tps_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/tps_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/tps_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/tps_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/tps_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tps_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/tps_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

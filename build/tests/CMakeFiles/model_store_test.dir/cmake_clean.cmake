@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_store_test.dir/store/model_store_test.cc.o"
+  "CMakeFiles/model_store_test.dir/store/model_store_test.cc.o.d"
+  "model_store_test"
+  "model_store_test.pdb"
+  "model_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nce_test.dir/transfer/nce_test.cc.o"
+  "CMakeFiles/nce_test.dir/transfer/nce_test.cc.o.d"
+  "nce_test"
+  "nce_test.pdb"
+  "nce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_zoo_test.dir/model/paper_zoo_test.cc.o"
+  "CMakeFiles/paper_zoo_test.dir/model/paper_zoo_test.cc.o.d"
+  "paper_zoo_test"
+  "paper_zoo_test.pdb"
+  "paper_zoo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_zoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

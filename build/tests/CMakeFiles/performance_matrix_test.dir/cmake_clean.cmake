@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performance_matrix_test.dir/core/performance_matrix_test.cc.o"
+  "CMakeFiles/performance_matrix_test.dir/core/performance_matrix_test.cc.o.d"
+  "performance_matrix_test"
+  "performance_matrix_test.pdb"
+  "performance_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performance_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_log_test.dir/store/record_log_test.cc.o"
+  "CMakeFiles/record_log_test.dir/store/record_log_test.cc.o.d"
+  "record_log_test"
+  "record_log_test.pdb"
+  "record_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_similarity_test.dir/core/task_similarity_test.cc.o"
+  "CMakeFiles/task_similarity_test.dir/core/task_similarity_test.cc.o.d"
+  "task_similarity_test"
+  "task_similarity_test.pdb"
+  "task_similarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_embedder_test.dir/embedding/text_embedder_test.cc.o"
+  "CMakeFiles/text_embedder_test.dir/embedding/text_embedder_test.cc.o.d"
+  "text_embedder_test"
+  "text_embedder_test.pdb"
+  "text_embedder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_embedder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

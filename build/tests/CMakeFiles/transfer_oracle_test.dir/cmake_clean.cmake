@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_oracle_test.dir/sim/transfer_oracle_test.cc.o"
+  "CMakeFiles/transfer_oracle_test.dir/sim/transfer_oracle_test.cc.o.d"
+  "transfer_oracle_test"
+  "transfer_oracle_test.pdb"
+  "transfer_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[ReportTest.RendersAllSections]=]  /root/repo/build/tests/report_test [==[--gtest_filter=ReportTest.RendersAllSections]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[ReportTest.RendersAllSections]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  report_test_TESTS ReportTest.RendersAllSections)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tps_cli.dir/tps_cli.cc.o"
+  "CMakeFiles/tps_cli.dir/tps_cli.cc.o.d"
+  "tps_cli"
+  "tps_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tps_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
