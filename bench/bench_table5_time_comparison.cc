@@ -2,7 +2,15 @@
 // successive halving (SH) and fine-selection (FS), at two candidate-set
 // sizes: the 10 coarse-recalled models and the whole zoo (40 NLP / 30 CV).
 // The paper reports SH ~2.2-2.6x and FS ~2.4-4.6x over brute force.
+//
+// With --parallel-timing [--threads=N] the harness additionally measures
+// wall-clock time of the full online two-phase pipeline serial vs on a
+// shared N-thread pool (default: hardware concurrency) and verifies the
+// parallel run selects the same model — the epoch tables above are the
+// paper's cost unit; this section shows the real-time speedup the shared
+// pool buys on this machine.
 
+#include <algorithm>
 #include <iostream>
 
 #include "bench/harness.h"
@@ -10,8 +18,12 @@
 #include "core/coarse_recall.h"
 #include "core/convergence_trend.h"
 #include "core/fine_selection.h"
+#include "core/two_phase.h"
+#include "util/flags.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace tps {
 namespace bench {
@@ -86,12 +98,64 @@ void Report(TaskDomain domain, const char* title) {
   std::cout << "\n";
 }
 
+void ReportWallClock(TaskDomain domain, const char* title, int num_threads,
+                     int repeats) {
+  World world = ExitIfError(BuildWorld(domain), "build world");
+  const Hyperparams hp = world.DefaultHp();
+  TwoPhaseSelector selector(world.zoo.get(), world.matrix.get(),
+                            world.clustering.get(), world.simulator.get());
+  ThreadPool pool(ThreadPool::ClampThreads(num_threads, world.zoo->size()));
+
+  std::cout << "=== Serial vs parallel wall-clock (" << title << ", "
+            << pool.num_threads() << " threads, best of " << repeats
+            << ") ===\n";
+  TablePrinter table(
+      {"target", "serial ms", "parallel ms", "speedup", "same model"});
+  for (const Dataset* target : world.Targets()) {
+    double serial_ms = 0.0, parallel_ms = 0.0;
+    TwoPhaseReport serial_report, parallel_report;
+    for (int r = 0; r < repeats; ++r) {
+      WallTimer timer;
+      serial_report = ExitIfError(
+          selector.Select(*target, TwoPhaseOptions(), hp, nullptr),
+          "serial select " + target->name());
+      const double s = timer.ElapsedMillis();
+      serial_ms = r == 0 ? s : std::min(serial_ms, s);
+      timer.Restart();
+      parallel_report = ExitIfError(
+          selector.Select(*target, TwoPhaseOptions(), hp, &pool),
+          "parallel select " + target->name());
+      const double p = timer.ElapsedMillis();
+      parallel_ms = r == 0 ? p : std::min(parallel_ms, p);
+    }
+    table.AddRow({target->name(), strings::Format("%.2f", serial_ms),
+                  strings::Format("%.2f", parallel_ms),
+                  strings::Format("%.2fx", serial_ms / parallel_ms),
+                  serial_report.selection.selected_model ==
+                          parallel_report.selection.selected_model
+                      ? "yes"
+                      : "NO"});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace tps
 
-int main() {
+int main(int argc, char** argv) {
+  auto flags = tps::FlagParser::Parse(argc, argv);
+  tps::bench::ExitIfError(flags.status(), "parse flags");
   tps::bench::Report(tps::TaskDomain::kNLP, "NLP");
   tps::bench::Report(tps::TaskDomain::kCV, "CV");
+  if (*flags->GetBool("parallel-timing", false)) {
+    const int threads = static_cast<int>(
+        *flags->GetInt("threads", tps::ThreadPool::DefaultThreads()));
+    const int repeats = static_cast<int>(*flags->GetInt("repeats", 3));
+    tps::bench::ReportWallClock(tps::TaskDomain::kNLP, "NLP", threads,
+                                repeats);
+    tps::bench::ReportWallClock(tps::TaskDomain::kCV, "CV", threads, repeats);
+  }
   return 0;
 }

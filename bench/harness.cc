@@ -1,16 +1,19 @@
 #include "bench/harness.h"
 
-#include <algorithm>
 #include <cstdlib>
-#include <thread>
 #include <iostream>
 
 #include "model/paper_zoo.h"
+#include "util/thread_pool.h"
 
 namespace tps {
 namespace bench {
 
 StatusOr<World> BuildWorld(TaskDomain domain) {
+  return BuildWorld(domain, ThreadPool::DefaultThreads());
+}
+
+StatusOr<World> BuildWorld(TaskDomain domain, int num_threads) {
   World world;
   world.domain = domain;
 
@@ -26,13 +29,11 @@ StatusOr<World> BuildWorld(TaskDomain domain) {
 
   world.simulator = std::make_unique<FineTuneSimulator>();
 
-  const int threads =
-      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
   TPS_ASSIGN_OR_RETURN(
       PerformanceMatrix matrix,
       PerformanceMatrix::BuildParallel(
           *world.zoo, world.registry->Benchmarks(domain), *world.simulator,
-          Hyperparams::DefaultsFor(domain), threads));
+          Hyperparams::DefaultsFor(domain), num_threads));
   world.matrix = std::make_unique<PerformanceMatrix>(std::move(matrix));
 
   ModelClusteringOptions options;  // Paper defaults.

@@ -37,7 +37,13 @@ struct World {
 
 /// Builds the full offline world for one domain with the paper's default
 /// configuration (Eq. 1 k=5, hierarchical average-linkage clustering).
+/// The performance matrix is built on a thread pool sized to the hardware
+/// (clamped to the |D| x |M| grid); the result is bit-identical to a
+/// serial build.
 StatusOr<World> BuildWorld(TaskDomain domain);
+
+/// As above with an explicit worker count (1 = fully serial build).
+StatusOr<World> BuildWorld(TaskDomain domain, int num_threads);
 
 /// Exits the process with a message if `status` is not OK. Harness `main`s
 /// use this instead of silently continuing with bad data.

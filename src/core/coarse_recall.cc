@@ -4,6 +4,7 @@
 
 #include "clustering/distance.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace tps {
 
@@ -34,7 +35,8 @@ CoarseRecall::CoarseRecall(const ModelZoo* zoo,
 
 StatusOr<RecallResult> CoarseRecall::Recall(const Dataset& target,
                                             const RecallOptions& options,
-                                            EpochBudget* budget) const {
+                                            EpochBudget* budget,
+                                            ThreadPool* pool) const {
   const size_t n = zoo_->size();
   if (n == 0) return Status::FailedPrecondition("empty model zoo");
   if (clustering_->clusters.assignments.size() != n) {
@@ -79,15 +81,19 @@ StatusOr<RecallResult> CoarseRecall::Recall(const Dataset& target,
   // Each proxy's raw scores are min-max normalized across the scored set,
   // then averaged (a single proxy degenerates to the paper's Eq. 2). All
   // proxies share one forward pass, so inference is charged once per
-  // scored model.
+  // scored model. Each representative's forward pass is independent, so
+  // they fan out over the pool into index-addressed slots; normalization
+  // and averaging reduce the slots serially in model-index order.
   std::vector<double> norm_scores(scored_models.size(), 0.0);
   for (const std::unique_ptr<ProxyScorer>& scorer : scorers) {
     std::vector<double> raw_scores(scored_models.size(), 0.0);
-    for (size_t i = 0; i < scored_models.size(); ++i) {
-      TPS_ASSIGN_OR_RETURN(
-          raw_scores[i],
-          scorer->Score(zoo_->model(scored_models[i]), target));
-    }
+    TPS_RETURN_NOT_OK(StatusParallelFor(
+        pool, scored_models.size(), [&](size_t i) -> Status {
+          TPS_ASSIGN_OR_RETURN(
+              raw_scores[i],
+              scorer->Score(zoo_->model(scored_models[i]), target));
+          return Status::OK();
+        }));
     const std::vector<double> normalized = MinMaxNormalize(raw_scores);
     for (size_t i = 0; i < norm_scores.size(); ++i) {
       norm_scores[i] += normalized[i] / static_cast<double>(scorers.size());
@@ -115,8 +121,12 @@ StatusOr<RecallResult> CoarseRecall::Recall(const Dataset& target,
   }
 
   // --- Step 2: recall score per model (Eqs. 2-4). ---
-  result.ranked.reserve(n);
-  for (size_t m = 0; m < n; ++m) {
+  // Each model's score depends only on its own row, so the per-model
+  // entries fan out over the pool into index-addressed slots; the
+  // stable_sort below then sees the same array as the serial run and
+  // breaks ties identically.
+  result.ranked.resize(n);
+  TPS_RETURN_NOT_OK(StatusParallelFor(pool, n, [&](size_t m) -> Status {
     RecallEntry entry;
     entry.model_index = m;
     entry.prior_accuracy = matrix_->ModelAverageAccuracy(m);
@@ -148,8 +158,9 @@ StatusOr<RecallResult> CoarseRecall::Recall(const Dataset& target,
     entry.recall_score = options.use_accuracy_prior
                              ? entry.prior_accuracy * entry.proxy_component
                              : entry.proxy_component;
-    result.ranked.push_back(entry);
-  }
+    result.ranked[m] = entry;
+    return Status::OK();
+  }));
 
   std::stable_sort(result.ranked.begin(), result.ranked.end(),
                    [](const RecallEntry& a, const RecallEntry& b) {

@@ -12,6 +12,7 @@
 #include "sim/epoch_budget.h"
 #include "transfer/proxy_scorer.h"
 #include "util/statusor.h"
+#include "util/thread_pool.h"
 
 namespace tps {
 
@@ -77,9 +78,16 @@ class CoarseRecall {
 
   /// Scores every model against `target` and ranks them. Charges 0.5
   /// epoch-equivalents per computed proxy to `budget` (may be null).
+  ///
+  /// When `pool` is non-null, the per-representative proxy forward passes
+  /// and the per-model Eq. 2-4 scoring run concurrently on the pool. Each
+  /// task writes an index-addressed slot and the normalization/ranking
+  /// reductions stay serial in model-index order, so the result (ranking,
+  /// scores, tie order, budget) is bit-identical to the serial run.
   StatusOr<RecallResult> Recall(const Dataset& target,
                                 const RecallOptions& options,
-                                EpochBudget* budget) const;
+                                EpochBudget* budget,
+                                ThreadPool* pool = nullptr) const;
 
  private:
   const ModelZoo* zoo_;

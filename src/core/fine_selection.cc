@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace tps {
 
@@ -18,22 +19,26 @@ FineSelectionSelector::FineSelectionSelector(
 
 StatusOr<SelectionOutcome> FineSelectionSelector::Select(
     const std::vector<size_t>& candidates, const Dataset& target,
-    const Hyperparams& hp, EpochBudget* budget) const {
+    const Hyperparams& hp, EpochBudget* budget, ThreadPool* pool) const {
   if (candidates.empty()) {
     return Status::InvalidArgument("fine-selection needs >= 1 candidate");
   }
-
-  // Deterministic full curves; prefixes are consumed stage by stage.
-  std::vector<TrainingRun> runs;
-  runs.reserve(candidates.size());
   for (size_t index : candidates) {
     if (index >= zoo_->size()) {
       return Status::OutOfRange("candidate index out of range");
     }
-    TPS_ASSIGN_OR_RETURN(TrainingRun run,
-                         simulator_->Run(zoo_->model(index), target, hp));
-    runs.push_back(std::move(run));
   }
+
+  // Deterministic full curves; prefixes are consumed stage by stage. Each
+  // candidate's run is an independent simulated fine-tune, so they fan out
+  // over the pool into index-addressed slots.
+  std::vector<TrainingRun> runs(candidates.size());
+  TPS_RETURN_NOT_OK(StatusParallelFor(
+      pool, candidates.size(), [&](size_t i) -> Status {
+        TPS_ASSIGN_OR_RETURN(
+            runs[i], simulator_->Run(zoo_->model(candidates[i]), target, hp));
+        return Status::OK();
+      }));
 
   SelectionOutcome outcome;
   std::vector<size_t> remaining(candidates.size());
@@ -52,19 +57,22 @@ StatusOr<SelectionOutcome> FineSelectionSelector::Select(
     };
 
     // Predict each survivor's final accuracy from its convergence trends
-    // (Eqs. 5-6). Trends are mined per model at the current stage.
+    // (Eqs. 5-6). Trends are mined per model at the current stage; each
+    // survivor is independent, so predictions fan out over the pool. The
+    // fine-filter below reads the slots serially.
     std::vector<double> predictions(remaining.size());
-    for (size_t r = 0; r < remaining.size(); ++r) {
-      const size_t pos = remaining[r];
-      TPS_ASSIGN_OR_RETURN(
-          std::vector<ConvergenceTrend> trends,
-          miner_->MineTrends(candidates[pos], stage));
-      if (trends.empty()) {
-        return Status::Internal("trend mining produced no trends");
-      }
-      predictions[r] =
-          ConvergenceTrendMiner::PredictFinal(trends, val_at_stage(pos));
-    }
+    TPS_RETURN_NOT_OK(StatusParallelFor(
+        pool, remaining.size(), [&](size_t r) -> Status {
+          const size_t pos = remaining[r];
+          TPS_ASSIGN_OR_RETURN(std::vector<ConvergenceTrend> trends,
+                               miner_->MineTrends(candidates[pos], stage));
+          if (trends.empty()) {
+            return Status::Internal("trend mining produced no trends");
+          }
+          predictions[r] =
+              ConvergenceTrendMiner::PredictFinal(trends, val_at_stage(pos));
+          return Status::OK();
+        }));
 
     // Fine-filter: examine survivors from worst validation upward; drop a
     // model when some better-validating survivor also predicts better by

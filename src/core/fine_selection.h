@@ -11,6 +11,7 @@
 #include "sim/finetune_simulator.h"
 #include "sim/hyperparams.h"
 #include "util/statusor.h"
+#include "util/thread_pool.h"
 
 namespace tps {
 
@@ -45,10 +46,17 @@ class FineSelectionSelector {
   /// Runs the selection over `candidates` (zoo indices, which must also be
   /// valid row indices of the miner's performance matrix). Charges training
   /// epochs to `budget` (may be null).
+  ///
+  /// When `pool` is non-null, the per-survivor epoch steps (simulated
+  /// fine-tune runs) and per-survivor trend predictions run concurrently
+  /// on the pool; every task writes an index-addressed slot and the
+  /// fine-filter / halving step stays serial, so the outcome and the
+  /// budget ledger are bit-identical to the serial run.
   StatusOr<SelectionOutcome> Select(const std::vector<size_t>& candidates,
                                     const Dataset& target,
                                     const Hyperparams& hp,
-                                    EpochBudget* budget) const;
+                                    EpochBudget* budget,
+                                    ThreadPool* pool = nullptr) const;
 
   const FineSelectionOptions& options() const { return options_; }
 

@@ -3,9 +3,9 @@
 #include <fstream>
 #include <iterator>
 #include <sstream>
-#include <thread>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
 
 namespace tps {
@@ -13,37 +13,9 @@ namespace tps {
 StatusOr<PerformanceMatrix> PerformanceMatrix::Build(
     const ModelZoo& zoo, const std::vector<const Dataset*>& benchmarks,
     const FineTuneSimulator& simulator, const Hyperparams& hp) {
-  if (zoo.size() == 0) {
-    return Status::InvalidArgument("PerformanceMatrix needs >= 1 model");
-  }
-  if (benchmarks.empty()) {
-    return Status::InvalidArgument(
-        "PerformanceMatrix needs >= 1 benchmark dataset");
-  }
-
-  PerformanceMatrix pm;
-  for (const PretrainedModel& model : zoo.models()) {
-    pm.model_names_.push_back(model.name());
-  }
-  for (const Dataset* ds : benchmarks) {
-    if (ds == nullptr) {
-      return Status::InvalidArgument("null benchmark dataset");
-    }
-    pm.dataset_names_.push_back(ds->name());
-  }
-
-  pm.accuracy_ = Matrix(benchmarks.size(), zoo.size());
-  pm.runs_.reserve(benchmarks.size() * zoo.size());
-  for (size_t di = 0; di < benchmarks.size(); ++di) {
-    for (size_t mi = 0; mi < zoo.size(); ++mi) {
-      TPS_ASSIGN_OR_RETURN(
-          TrainingRun run,
-          simulator.Run(zoo.model(mi), *benchmarks[di], hp));
-      pm.accuracy_.At(di, mi) = run.final_test();
-      pm.runs_.push_back(std::move(run));
-    }
-  }
-  return pm;
+  // The serial reference path: BuildOnPool without a pool walks the flat
+  // (dataset, model) index space in order.
+  return BuildOnPool(zoo, benchmarks, simulator, hp, nullptr);
 }
 
 StatusOr<PerformanceMatrix> PerformanceMatrix::BuildParallel(
@@ -54,6 +26,18 @@ StatusOr<PerformanceMatrix> PerformanceMatrix::BuildParallel(
     return Status::InvalidArgument("BuildParallel needs num_threads >= 1");
   }
   if (num_threads == 1) return Build(zoo, benchmarks, simulator, hp);
+  // Input errors (empty zoo / empty or null benchmarks) are diagnosed by
+  // BuildOnPool before any work is scheduled, so the clamp below never
+  // sees a zero-item grid from valid inputs.
+  const size_t total = benchmarks.size() * zoo.size();
+  ThreadPool pool(ThreadPool::ClampThreads(num_threads, total));
+  return BuildOnPool(zoo, benchmarks, simulator, hp, &pool);
+}
+
+StatusOr<PerformanceMatrix> PerformanceMatrix::BuildOnPool(
+    const ModelZoo& zoo, const std::vector<const Dataset*>& benchmarks,
+    const FineTuneSimulator& simulator, const Hyperparams& hp,
+    ThreadPool* pool) {
   if (zoo.size() == 0) {
     return Status::InvalidArgument("PerformanceMatrix needs >= 1 model");
   }
@@ -77,33 +61,19 @@ StatusOr<PerformanceMatrix> PerformanceMatrix::BuildParallel(
   pm.accuracy_ = Matrix(benchmarks.size(), num_models);
   pm.runs_.resize(total);
 
-  // Static work split over the flat (dataset, model) index space. Each
-  // cell is written by exactly one thread; failures are collected per
-  // thread and surfaced after join.
-  std::vector<Status> worker_status(static_cast<size_t>(num_threads),
-                                    Status::OK());
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(num_threads));
-  for (int t = 0; t < num_threads; ++t) {
-    workers.emplace_back([&, t] {
-      for (size_t index = static_cast<size_t>(t); index < total;
-           index += static_cast<size_t>(num_threads)) {
-        const size_t di = index / num_models;
-        const size_t mi = index % num_models;
-        auto run = simulator.Run(zoo.model(mi), *benchmarks[di], hp);
-        if (!run.ok()) {
-          worker_status[static_cast<size_t>(t)] = run.status();
-          return;
-        }
-        pm.accuracy_.At(di, mi) = run->final_test();
-        pm.runs_[index] = std::move(run).value();
-      }
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
-  for (const Status& status : worker_status) {
-    TPS_RETURN_NOT_OK(status);
-  }
+  // Fan out over the flat (dataset, model) index space; each cell is an
+  // index-addressed slot written by exactly one task, so the matrix is
+  // bit-identical to the serial Build for any pool size.
+  TPS_RETURN_NOT_OK(StatusParallelFor(pool, total, [&](size_t index)
+                                          -> Status {
+    const size_t di = index / num_models;
+    const size_t mi = index % num_models;
+    TPS_ASSIGN_OR_RETURN(TrainingRun run,
+                         simulator.Run(zoo.model(mi), *benchmarks[di], hp));
+    pm.accuracy_.At(di, mi) = run.final_test();
+    pm.runs_[index] = std::move(run);
+    return Status::OK();
+  }));
   return pm;
 }
 

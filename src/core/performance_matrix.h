@@ -10,6 +10,7 @@
 #include "sim/finetune_simulator.h"
 #include "sim/hyperparams.h"
 #include "util/statusor.h"
+#include "util/thread_pool.h"
 
 namespace tps {
 
@@ -31,14 +32,24 @@ class PerformanceMatrix {
       const ModelZoo& zoo, const std::vector<const Dataset*>& benchmarks,
       const FineTuneSimulator& simulator, const Hyperparams& hp);
 
-  /// As Build, fanning the |D| x |M| runs over `num_threads` worker
-  /// threads (the offline phase is embarrassingly parallel). Bit-identical
-  /// to the serial Build — each run is deterministic and independent.
+  /// As Build, fanning the |D| x |M| runs over a ThreadPool of
+  /// `num_threads` workers (the offline phase is embarrassingly parallel).
+  /// Bit-identical to the serial Build — each run is deterministic and
+  /// independent, and every (dataset, model) cell is an index-addressed
+  /// slot. The worker count is clamped to the number of |D| x |M| work
+  /// items, so oversubscribed requests never spawn idle threads.
   /// num_threads < 1 is an error; 1 falls back to the serial path.
   static StatusOr<PerformanceMatrix> BuildParallel(
       const ModelZoo& zoo, const std::vector<const Dataset*>& benchmarks,
       const FineTuneSimulator& simulator, const Hyperparams& hp,
       int num_threads);
+
+  /// As BuildParallel on a caller-owned pool shared with the rest of the
+  /// pipeline. `pool` may be null for the serial path.
+  static StatusOr<PerformanceMatrix> BuildOnPool(
+      const ModelZoo& zoo, const std::vector<const Dataset*>& benchmarks,
+      const FineTuneSimulator& simulator, const Hyperparams& hp,
+      ThreadPool* pool);
 
   size_t num_models() const { return model_names_.size(); }
   size_t num_datasets() const { return dataset_names_.size(); }

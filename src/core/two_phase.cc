@@ -27,24 +27,41 @@ StatusOr<TwoPhaseReport> TwoPhaseSelector::Select(
 StatusOr<TwoPhaseReport> TwoPhaseSelector::Select(
     const Dataset& target, const TwoPhaseOptions& options,
     const Hyperparams& hp) const {
+  if (options.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (options.num_threads == 1) return Select(target, options, hp, nullptr);
+  // One pool for the whole call, shared by both phases. Never more
+  // workers than the widest fan-out (all models scored directly).
+  ThreadPool pool(ThreadPool::ClampThreads(options.num_threads,
+                                           zoo_->size()));
+  return Select(target, options, hp, &pool);
+}
+
+StatusOr<TwoPhaseReport> TwoPhaseSelector::Select(
+    const Dataset& target, const TwoPhaseOptions& options,
+    const Hyperparams& hp, ThreadPool* pool) const {
   TwoPhaseReport report;
 
   // Phase 1: coarse recall (charges 0.5 epoch-equivalents per proxy).
   CoarseRecall recall(zoo_, matrix_, clustering_);
-  TPS_ASSIGN_OR_RETURN(report.recall,
-                       recall.Recall(target, options.recall, &report.budget));
+  TPS_ASSIGN_OR_RETURN(
+      report.recall,
+      recall.Recall(target, options.recall, &report.budget, pool));
   const std::vector<size_t> candidates =
       report.recall.TopModels(options.recall.top_k_models);
   if (candidates.empty()) {
     return Status::Internal("coarse recall returned no candidates");
   }
 
-  // Phase 2: fine selection over the recalled candidates.
+  // Phase 2: fine selection over the recalled candidates, on the same
+  // pool.
   ConvergenceTrendMiner miner(matrix_, options.trends);
   FineSelectionSelector fine(zoo_, simulator_, &miner,
                              options.fine_selection);
-  TPS_ASSIGN_OR_RETURN(report.selection,
-                       fine.Select(candidates, target, hp, &report.budget));
+  TPS_ASSIGN_OR_RETURN(
+      report.selection,
+      fine.Select(candidates, target, hp, &report.budget, pool));
   return report;
 }
 

@@ -20,6 +20,11 @@ struct TwoPhaseOptions {
   RecallOptions recall;
   FineSelectionOptions fine_selection;
   TrendMinerOptions trends;
+  /// Worker threads for the online pipeline. 1 (the default) runs fully
+  /// serial; > 1 fans the proxy forward passes and per-survivor epoch
+  /// steps over one shared ThreadPool. Output is bit-identical for every
+  /// value (see "Threading model" in DESIGN.md). Values < 1 are an error.
+  int num_threads = 1;
 };
 
 /// End-to-end report: who was recalled, who won, and what it cost.
@@ -50,10 +55,20 @@ class TwoPhaseSelector {
   StatusOr<TwoPhaseReport> Select(const Dataset& target,
                                   const TwoPhaseOptions& options) const;
 
-  /// As above with explicit hyperparameters.
+  /// As above with explicit hyperparameters. When options.num_threads > 1
+  /// a pool of that size is created for the call and shared by both
+  /// phases.
   StatusOr<TwoPhaseReport> Select(const Dataset& target,
                                   const TwoPhaseOptions& options,
                                   const Hyperparams& hp) const;
+
+  /// As above on a caller-owned pool (shared across Select calls, e.g. by
+  /// a server handling many targets). `pool` may be null for serial;
+  /// options.num_threads is ignored on this overload.
+  StatusOr<TwoPhaseReport> Select(const Dataset& target,
+                                  const TwoPhaseOptions& options,
+                                  const Hyperparams& hp,
+                                  ThreadPool* pool) const;
 
  private:
   const ModelZoo* zoo_;

@@ -1,0 +1,39 @@
+#ifndef TPS_UTIL_PARALLEL_H_
+#define TPS_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace tps {
+
+/// Runs `fn(i)` for every i in [0, n): serially in index order when `pool`
+/// is null (or the range is trivial), otherwise via pool->ParallelFor.
+///
+/// Error contract: the returned Status is the first non-OK status in
+/// *index order*, independent of scheduling — the parallel path collects
+/// per-index statuses into slots and scans them serially. Library code
+/// uses this (not exceptions) for expected failures, so serial and
+/// parallel runs fail identically.
+inline Status StatusParallelFor(ThreadPool* pool, size_t n,
+                                const std::function<Status(size_t)>& fn) {
+  if (pool == nullptr || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      TPS_RETURN_NOT_OK(fn(i));
+    }
+    return Status::OK();
+  }
+  std::vector<Status> statuses(n);
+  pool->ParallelFor(n, [&](size_t i) { statuses[i] = fn(i); });
+  for (size_t i = 0; i < n; ++i) {
+    TPS_RETURN_NOT_OK(statuses[i]);
+  }
+  return Status::OK();
+}
+
+}  // namespace tps
+
+#endif  // TPS_UTIL_PARALLEL_H_

@@ -1,0 +1,142 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace tps {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock,
+                       [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutting down and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (error != nullptr && first_error_ == nullptr) {
+        first_error_ = error;
+      }
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  TPS_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    TPS_CHECK(!shutting_down_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+namespace {
+
+/// Per-call state of one ParallelFor: a shared claim counter plus the
+/// deterministically smallest failing index. Heap-free aside from the
+/// exception slot; lives on the calling thread's stack for the duration of
+/// the call.
+struct ParallelForState {
+  explicit ParallelForState(size_t n_in) : n(n_in) {}
+
+  const size_t n;
+  std::atomic<size_t> next{0};
+
+  std::mutex mu;
+  size_t error_index = 0;
+  std::exception_ptr error;
+
+  /// Claims indices until the range is exhausted. Every index runs even
+  /// after a failure elsewhere, so the recorded error is always the one
+  /// from the smallest failing index regardless of scheduling.
+  void Drain(const std::function<void(size_t)>& fn) {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(mu);
+        if (error == nullptr || i < error_index) {
+          error = std::current_exception();
+          error_index = i;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  ParallelForState state(n);
+  // One helper task per worker, capped by the range; the calling thread
+  // participates too, so a 1-thread pool degenerates to a serial loop with
+  // (at most) one helper.
+  const size_t helpers =
+      std::min(static_cast<size_t>(num_threads()), n);
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([&state, &fn] { state.Drain(fn); });
+  }
+  state.Drain(fn);
+  Wait();
+  if (state.error != nullptr) std::rethrow_exception(state.error);
+}
+
+int ThreadPool::DefaultThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+int ThreadPool::ClampThreads(int requested, size_t num_items) {
+  const size_t capped =
+      std::min<size_t>(static_cast<size_t>(std::max(1, requested)),
+                       std::max<size_t>(1, num_items));
+  return static_cast<int>(capped);
+}
+
+}  // namespace tps

@@ -1,0 +1,85 @@
+#ifndef TPS_UTIL_THREAD_POOL_H_
+#define TPS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tps {
+
+/// Fixed-size pool of worker threads draining one shared FIFO queue — no
+/// work stealing, no per-thread queues. The online selection pipeline
+/// (coarse recall, fine selection) and the offline performance-matrix
+/// build all share one instance, so a process uses a bounded number of
+/// threads no matter how many pipeline stages run.
+///
+/// Determinism contract: the pool guarantees nothing about *execution
+/// order*; callers obtain bit-identical results by writing every task's
+/// output to an index-addressed slot the caller owns (see ParallelFor) and
+/// reducing the slots in index order on the submitting thread. Because all
+/// per-index computations in this codebase are pure functions of their
+/// index, parallel output is bit-identical to serial output.
+class ThreadPool {
+ public:
+  /// Spawns max(1, num_threads) workers.
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue and joins all workers. Pending tasks still run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task. Tasks must not call Submit/Wait/ParallelFor on the
+  /// same pool (the pool is a leaf resource; nesting could deadlock a
+  /// fully busy pool). An exception escaping a task is captured; the first
+  /// one captured is rethrown by the next Wait().
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished, then rethrows
+  /// the first captured task exception (if any) and clears it.
+  void Wait();
+
+  /// Runs fn(i) for every i in [0, n) across the pool *and* the calling
+  /// thread, returning when all n calls have finished. Work is handed out
+  /// via a shared counter; all indices are executed even if some throw, so
+  /// failure reporting is deterministic: the exception from the smallest
+  /// failing index is rethrown on the calling thread.
+  ///
+  /// fn must be safe to call concurrently for distinct indices and should
+  /// write its result to a caller-owned slot at index i. n == 0 is a
+  /// no-op. Must not be called from inside a pool task.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Hardware concurrency with a floor of 1 (hardware_concurrency() may
+  /// report 0).
+  static int DefaultThreads();
+
+  /// Clamps a requested worker count to [1, num_items] so no idle workers
+  /// are spawned for work lists smaller than the request.
+  static int ClampThreads(int requested, size_t num_items);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  /// Tasks submitted but not yet finished (queued + running).
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tps
+
+#endif  // TPS_UTIL_THREAD_POOL_H_

@@ -87,6 +87,71 @@ TEST_F(CoarseRecallTest, TopModelsAndRankOf) {
   EXPECT_EQ(result.TopModels(1000).size(), zoo_->size());
 }
 
+TEST_F(CoarseRecallTest, TopModelsEdgeCases) {
+  RecallResult result;
+  EXPECT_TRUE(result.TopModels(0).empty());
+  EXPECT_TRUE(result.TopModels(5).empty());  // Empty ranking.
+
+  result.ranked.resize(3);
+  result.ranked[0].model_index = 7;
+  result.ranked[1].model_index = 2;
+  result.ranked[2].model_index = 9;
+  EXPECT_TRUE(result.TopModels(0).empty());
+  EXPECT_EQ(result.TopModels(2), (std::vector<size_t>{7, 2}));
+  // k beyond the ranking size returns everything, never out-of-bounds.
+  EXPECT_EQ(result.TopModels(3), (std::vector<size_t>{7, 2, 9}));
+  EXPECT_EQ(result.TopModels(1000), (std::vector<size_t>{7, 2, 9}));
+}
+
+TEST_F(CoarseRecallTest, RankOfAbsentModelReturnsRankedSize) {
+  RecallResult result;
+  EXPECT_EQ(result.RankOf(0), 0u);  // Empty ranking: everything is absent.
+
+  result.ranked.resize(2);
+  result.ranked[0].model_index = 4;
+  result.ranked[1].model_index = 1;
+  EXPECT_EQ(result.RankOf(4), 0u);
+  EXPECT_EQ(result.RankOf(1), 1u);
+  // Absent (or out-of-zoo) indices map to the one-past-the-end rank.
+  EXPECT_EQ(result.RankOf(0), result.ranked.size());
+  EXPECT_EQ(result.RankOf(999), result.ranked.size());
+}
+
+TEST_F(CoarseRecallTest, EqualScoresBreakTiesByModelIndex) {
+  // The ranking uses a stable sort over index-ordered entries, so models
+  // with exactly equal recall scores must appear in ascending model-index
+  // order. The no-prior ablation produces real exact ties: every singleton
+  // propagated from the same cluster (Eq. 4) shares one proxy component.
+  CoarseRecall recall(zoo_, matrix_, clustering_);
+  RecallOptions options;
+  options.use_accuracy_prior = false;
+  auto result = *recall.Recall(*target_, options, nullptr);
+  size_t tied_pairs = 0;
+  for (size_t i = 1; i < result.ranked.size(); ++i) {
+    if (result.ranked[i].recall_score == result.ranked[i - 1].recall_score) {
+      ++tied_pairs;
+      EXPECT_LT(result.ranked[i - 1].model_index,
+                result.ranked[i].model_index)
+          << "tied scores at ranks " << i - 1 << "," << i;
+    }
+  }
+  EXPECT_GT(tied_pairs, 0u) << "expected exact ties under the no-prior "
+                               "ablation; tie-break check was vacuous";
+}
+
+TEST_F(CoarseRecallTest, RepeatedRecallIsDeterministic) {
+  CoarseRecall recall(zoo_, matrix_, clustering_);
+  auto first = *recall.Recall(*target_, RecallOptions(), nullptr);
+  for (int round = 0; round < 3; ++round) {
+    auto again = *recall.Recall(*target_, RecallOptions(), nullptr);
+    ASSERT_EQ(again.ranked.size(), first.ranked.size());
+    for (size_t i = 0; i < first.ranked.size(); ++i) {
+      EXPECT_EQ(again.ranked[i].model_index, first.ranked[i].model_index);
+      EXPECT_EQ(again.ranked[i].recall_score, first.ranked[i].recall_score);
+    }
+  }
+}
+
 TEST_F(CoarseRecallTest, RecallsBetterThanRandomOnMnli) {
   CoarseRecall recall(zoo_, matrix_, clustering_);
   auto result = *recall.Recall(*target_, RecallOptions(), nullptr);

@@ -146,6 +146,47 @@ TEST_F(PerformanceMatrixTest, ParallelBuildValidatesThreadCount) {
                   .IsInvalidArgument());
 }
 
+TEST_F(PerformanceMatrixTest, ParallelBuildClampsThreadsToWorkItems) {
+  // 64 requested workers against a 5x4 = 20-item grid: the pool is clamped
+  // to the work-item count, and the result is still bit-identical to the
+  // serial build rather than hanging or over-spawning.
+  auto parallel = PerformanceMatrix::BuildParallel(
+      *zoo_, registry_->Benchmarks(TaskDomain::kNLP), *simulator_,
+      Hyperparams::DefaultsFor(TaskDomain::kNLP), 64);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel->Serialize(), matrix_->Serialize());
+}
+
+TEST_F(PerformanceMatrixTest, ParallelBuildSingleWorkItem) {
+  // Degenerate 1x1 grid with more threads than items.
+  auto tiny_zoo = *ModelZoo::Create({NlpPaperZooSpecs()[0]});
+  DatasetRegistry tiny_registry =
+      *DatasetRegistry::Create({NlpBenchmarkSpecs()[0]});
+  const Hyperparams hp = Hyperparams::DefaultsFor(TaskDomain::kNLP);
+  auto serial = PerformanceMatrix::Build(
+      tiny_zoo, tiny_registry.Benchmarks(TaskDomain::kNLP), *simulator_, hp);
+  auto parallel = PerformanceMatrix::BuildParallel(
+      tiny_zoo, tiny_registry.Benchmarks(TaskDomain::kNLP), *simulator_, hp,
+      16);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel->Serialize(), serial->Serialize());
+}
+
+TEST(PerformanceMatrixBuildTest, ParallelBuildRejectsEmptyBenchmarks) {
+  // The empty-input validation fires before any pool is created, for every
+  // thread count — a 0-benchmark build must not spin up workers.
+  auto zoo = *ModelZoo::Create({NlpPaperZooSpecs()[0]});
+  FineTuneSimulator simulator;
+  for (int threads : {1, 4, 64}) {
+    EXPECT_TRUE(PerformanceMatrix::BuildParallel(zoo, {}, simulator,
+                                                 Hyperparams(), threads)
+                    .status()
+                    .IsInvalidArgument())
+        << "threads=" << threads;
+  }
+}
+
 TEST(PerformanceMatrixBuildTest, RejectsEmptyInputs) {
   auto zoo = *ModelZoo::Create({});
   DatasetRegistry registry = *DatasetRegistry::Create(

@@ -22,7 +22,9 @@
 //       Inventory inspection.
 //
 // All subcommands are deterministic; no flags are required beyond the ones
-// shown (defaults in brackets).
+// shown (defaults in brackets). `offline`, `recall` and `select` accept
+// --threads=N (default 1) to fan independent simulator/proxy work over a
+// shared thread pool — output is bit-identical for every thread count.
 
 #include <fstream>
 #include <iostream>
@@ -39,6 +41,7 @@
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 
 namespace tps {
 namespace cli {
@@ -55,6 +58,14 @@ int Usage() {
          "card> [--flags]\n"
          "run `head tools/tps_cli.cc` for the full flag reference\n";
   return 2;
+}
+
+StatusOr<int> ThreadsFromFlag(const FlagParser& flags) {
+  TPS_ASSIGN_OR_RETURN(int64_t threads, flags.GetInt("threads", 1));
+  if (threads < 1) {
+    return Status::InvalidArgument("--threads must be >= 1");
+  }
+  return static_cast<int>(threads);
 }
 
 StatusOr<TaskDomain> DomainFromFlag(const FlagParser& flags) {
@@ -146,10 +157,13 @@ int RunOffline(const FlagParser& flags) {
   auto zoo_or = ZooFor(domain);
   if (!zoo_or.ok()) return Fail(zoo_or.status());
 
+  auto threads_or = ThreadsFromFlag(flags);
+  if (!threads_or.ok()) return Fail(threads_or.status());
+
   FineTuneSimulator simulator;
-  auto matrix_or = PerformanceMatrix::Build(
+  auto matrix_or = PerformanceMatrix::BuildParallel(
       *zoo_or, registry_or->Benchmarks(domain), simulator,
-      Hyperparams::DefaultsFor(domain));
+      Hyperparams::DefaultsFor(domain), *threads_or);
   if (!matrix_or.ok()) return Fail(matrix_or.status());
 
   ModelClusteringOptions options;
@@ -219,9 +233,18 @@ int RunRecall(const FlagParser& flags) {
   options.proxy = flags.GetString("proxy", "leep");
   options.proxies = flags.GetList("proxies");
 
+  auto threads_or = ThreadsFromFlag(flags);
+  if (!threads_or.ok()) return Fail(threads_or.status());
+
   CoarseRecall recall(&world.zoo, &world.matrix, &world.clustering);
   EpochBudget budget;
-  auto result_or = recall.Recall(**target_or, options, &budget);
+  StatusOr<RecallResult> result_or = Status::Internal("unreachable");
+  if (*threads_or == 1) {
+    result_or = recall.Recall(**target_or, options, &budget);
+  } else {
+    ThreadPool pool(ThreadPool::ClampThreads(*threads_or, world.zoo.size()));
+    result_or = recall.Recall(**target_or, options, &budget, &pool);
+  }
   if (!result_or.ok()) return Fail(result_or.status());
 
   TablePrinter table({"rank", "model", "recall score", "prior acc",
@@ -258,6 +281,9 @@ int RunSelect(const FlagParser& flags) {
   auto threshold_or = flags.GetDouble("threshold", 0.0);
   if (!threshold_or.ok()) return Fail(threshold_or.status());
   options.fine_selection.threshold = *threshold_or;
+  auto threads_or = ThreadsFromFlag(flags);
+  if (!threads_or.ok()) return Fail(threads_or.status());
+  options.num_threads = *threads_or;
 
   FineTuneSimulator simulator;
   TwoPhaseSelector selector(&world.zoo, &world.matrix, &world.clustering,
