@@ -1,8 +1,5 @@
 #include "store/kv_store.h"
 
-#include <cstdio>
-#include <fstream>
-
 namespace tps {
 
 namespace {
@@ -37,24 +34,40 @@ Status DecodeMutation(const std::string& payload, char* op,
       (static_cast<uint32_t>(static_cast<uint8_t>(payload[2])) << 8) |
       (static_cast<uint32_t>(static_cast<uint8_t>(payload[3])) << 16) |
       (static_cast<uint32_t>(static_cast<uint8_t>(payload[4])) << 24);
-  if (payload.size() < 5 + key_length) {
+  // 64-bit arithmetic: `5 + key_length` wraps for key_length near
+  // UINT32_MAX on 32-bit size_t, letting a corrupt record overrun the
+  // payload and throw from substr.
+  if (static_cast<uint64_t>(payload.size()) <
+      uint64_t{5} + static_cast<uint64_t>(key_length)) {
     return Status::Internal("mutation record key overruns payload");
   }
   *key = payload.substr(5, key_length);
-  *value = payload.substr(5 + key_length);
+  *value = payload.substr(5 + static_cast<size_t>(key_length));
   return Status::OK();
 }
 
 }  // namespace
 
-StatusOr<KvStore> KvStore::Open(const std::string& path) {
-  KvStore store(path);
+std::string RecoveryStats::ToString() const {
+  std::string out = "replayed " + std::to_string(records_replayed) +
+                    " records (" + std::to_string(valid_prefix_bytes) +
+                    " valid bytes)";
+  if (tail_was_torn) {
+    out += ", torn tail: truncated " + std::to_string(bytes_truncated) +
+           " bytes";
+  } else {
+    out += ", clean tail";
+  }
+  return out;
+}
+
+StatusOr<KvStore> KvStore::Open(const std::string& path, Env* env) {
+  KvStore store(path, env);
 
   // Replay an existing log; a missing file just means a fresh store.
-  std::ifstream probe(path, std::ios::binary);
-  if (probe.good()) {
-    probe.close();
-    TPS_ASSIGN_OR_RETURN(RecordLogContents contents, ReadRecordLog(path));
+  if (env->FileExists(path)) {
+    TPS_ASSIGN_OR_RETURN(RecordLogContents contents,
+                         ReadRecordLog(path, env));
     for (const std::string& record : contents.records) {
       char op = 0;
       std::string key, value;
@@ -68,11 +81,23 @@ StatusOr<KvStore> KvStore::Open(const std::string& path) {
       }
       ++store.log_records_;
     }
-    // A torn tail is recovered from silently: the table holds everything
-    // that was durably written.
+    store.recovery_stats_.records_replayed = contents.records.size();
+    store.recovery_stats_.valid_prefix_bytes = contents.valid_prefix_bytes;
+    store.recovery_stats_.tail_was_torn = contents.truncated_tail;
+    if (contents.truncated_tail) {
+      // Drop the torn tail before reopening for append. Without this,
+      // records appended after recovery sit behind the corrupt bytes and
+      // are silently discarded by the next replay.
+      TPS_ASSIGN_OR_RETURN(uint64_t file_size, env->FileSize(path));
+      store.recovery_stats_.bytes_truncated =
+          file_size - contents.valid_prefix_bytes;
+      TPS_RETURN_NOT_OK(
+          env->TruncateFile(path, contents.valid_prefix_bytes));
+    }
   }
 
-  TPS_ASSIGN_OR_RETURN(RecordLogWriter writer, RecordLogWriter::Open(path));
+  TPS_ASSIGN_OR_RETURN(RecordLogWriter writer,
+                       RecordLogWriter::Open(path, env));
   store.log_ = std::make_unique<RecordLogWriter>(std::move(writer));
   return store;
 }
@@ -122,34 +147,38 @@ std::vector<std::string> KvStore::ScanPrefix(
 Status KvStore::Compact() {
   const std::string temp_path = path_ + ".compact";
   {
-    // Truncate any stale temp file, then write all live entries.
-    std::ofstream truncate(temp_path,
-                           std::ios::binary | std::ios::trunc);
-    if (!truncate) {
-      return Status::IOError("cannot create compaction file: " + temp_path);
+    // Write all live entries into a fresh temp log (truncating any stale
+    // temp file from an earlier failed compaction).
+    TPS_ASSIGN_OR_RETURN(RecordLogWriter writer,
+                         RecordLogWriter::Create(temp_path, env_));
+    for (const auto& [key, value] : table_) {
+      Status append = writer.Append(EncodeMutation(kOpPut, key, value));
+      if (!append.ok()) {
+        // The live log is untouched; drop the partial temp file.
+        env_->RemoveFile(temp_path);
+        return append;
+      }
     }
+    TPS_RETURN_NOT_OK(writer.Flush());
   }
-  TPS_ASSIGN_OR_RETURN(RecordLogWriter writer,
-                       RecordLogWriter::Open(temp_path));
-  for (const auto& [key, value] : table_) {
-    TPS_RETURN_NOT_OK(writer.Append(EncodeMutation(kOpPut, key, value)));
-  }
-  TPS_RETURN_NOT_OK(writer.Flush());
 
   // Atomic swap, then reopen the append handle on the new file.
   log_.reset();
-  if (std::rename(temp_path.c_str(), path_.c_str()) != 0) {
+  Status renamed = env_->RenameFile(temp_path, path_);
+  if (!renamed.ok()) {
     // Keep the store usable on the old log rather than leaving a null
-    // append handle behind.
-    auto reopened_old = RecordLogWriter::Open(path_);
+    // append handle behind. The old log fully describes the table, so
+    // nothing is lost — compaction just didn't happen.
+    env_->RemoveFile(temp_path);
+    auto reopened_old = RecordLogWriter::Open(path_, env_);
     if (reopened_old.ok()) {
       log_ = std::make_unique<RecordLogWriter>(
           std::move(reopened_old).value());
     }
-    return Status::IOError("compaction rename failed: " + path_);
+    return renamed;
   }
   TPS_ASSIGN_OR_RETURN(RecordLogWriter reopened,
-                       RecordLogWriter::Open(path_));
+                       RecordLogWriter::Open(path_, env_));
   log_ = std::make_unique<RecordLogWriter>(std::move(reopened));
   log_records_ = table_.size();
   return Status::OK();

@@ -17,8 +17,8 @@ std::vector<std::string> StripPrefix(std::vector<std::string> keys,
 }
 }  // namespace
 
-StatusOr<ModelStore> ModelStore::Open(const std::string& path) {
-  TPS_ASSIGN_OR_RETURN(KvStore kv, KvStore::Open(path));
+StatusOr<ModelStore> ModelStore::Open(const std::string& path, Env* env) {
+  TPS_ASSIGN_OR_RETURN(KvStore kv, KvStore::Open(path, env));
   return ModelStore(std::move(kv));
 }
 
@@ -93,6 +93,16 @@ StatusOr<ModelClustering> ModelStore::GetClustering(
   TPS_ASSIGN_OR_RETURN(std::string payload,
                        kv_.Get(kClusteringPrefix + id));
   return DeserializeClustering(payload);
+}
+
+std::vector<std::string> ModelStore::ListMatrices() const {
+  return StripPrefix(kv_.ScanPrefix(kMatrixPrefix),
+                     sizeof(kMatrixPrefix) - 1);
+}
+
+std::vector<std::string> ModelStore::ListClusterings() const {
+  return StripPrefix(kv_.ScanPrefix(kClusteringPrefix),
+                     sizeof(kClusteringPrefix) - 1);
 }
 
 Status ModelStore::Compact() { return kv_.Compact(); }

@@ -9,6 +9,7 @@
 #include "data/dataset_spec.h"
 #include "model/model_spec.h"
 #include "store/kv_store.h"
+#include "util/env.h"
 #include "util/statusor.h"
 
 namespace tps {
@@ -27,8 +28,11 @@ namespace tps {
 ///   clustering/<id>   -> serialized ModelClustering
 class ModelStore {
  public:
-  /// Opens (or creates) the store backed by the log file at `path`.
-  static StatusOr<ModelStore> Open(const std::string& path);
+  /// Opens (or creates) the store backed by the log file at `path`,
+  /// recovering from a torn tail if the last writer crashed mid-append.
+  /// `env` must outlive the store.
+  static StatusOr<ModelStore> Open(const std::string& path,
+                                   Env* env = Env::Default());
 
   ModelStore(ModelStore&&) = default;
   ModelStore& operator=(ModelStore&&) = default;
@@ -54,12 +58,23 @@ class ModelStore {
   Status PutClustering(const std::string& id,
                        const ModelClustering& clustering);
   StatusOr<ModelClustering> GetClustering(const std::string& id) const;
+  /// Stored artifact ids, sorted.
+  std::vector<std::string> ListMatrices() const;
+  std::vector<std::string> ListClusterings() const;
 
   /// Reclaims space from overwrites/deletes.
   Status Compact();
 
   /// Total live entries across all namespaces.
   size_t size() const { return kv_.size(); }
+
+  /// Log records written since Open (live + dead).
+  size_t log_records() const { return kv_.log_records(); }
+
+  /// What the last Open() replayed and truncated (torn-tail recovery).
+  const RecoveryStats& recovery_stats() const {
+    return kv_.recovery_stats();
+  }
 
  private:
   explicit ModelStore(KvStore kv) : kv_(std::move(kv)) {}

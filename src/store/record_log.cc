@@ -8,6 +8,9 @@ namespace tps {
 
 namespace {
 
+constexpr size_t kHeaderSize = 8;  // [u32 crc][u32 length].
+constexpr uint32_t kMaxRecordLength = 0x7FFFFFFFu;
+
 void PutU32(char* buffer, uint32_t value) {
   buffer[0] = static_cast<char>(value & 0xFF);
   buffer[1] = static_cast<char>((value >> 8) & 0xFF);
@@ -24,62 +27,70 @@ uint32_t GetU32(const char* buffer) {
 
 }  // namespace
 
-StatusOr<RecordLogWriter> RecordLogWriter::Open(const std::string& path) {
-  RecordLogWriter writer(path);
-  writer.out_.open(path, std::ios::binary | std::ios::app);
-  if (!writer.out_) {
-    return Status::IOError("cannot open record log for append: " + path);
-  }
-  return writer;
+StatusOr<RecordLogWriter> RecordLogWriter::Open(const std::string& path,
+                                                Env* env) {
+  TPS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                       env->NewAppendableFile(path));
+  return RecordLogWriter(path, std::move(file));
+}
+
+StatusOr<RecordLogWriter> RecordLogWriter::Create(const std::string& path,
+                                                  Env* env) {
+  TPS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                       env->NewTruncatedFile(path));
+  return RecordLogWriter(path, std::move(file));
 }
 
 Status RecordLogWriter::Append(std::string_view payload) {
-  if (payload.size() > 0x7FFFFFFFu) {
+  if (payload.size() > kMaxRecordLength) {
     return Status::InvalidArgument("record payload too large");
   }
-  char header[8];
-  PutU32(header + 4, static_cast<uint32_t>(payload.size()));
+  std::string record(kHeaderSize + payload.size(), '\0');
+  PutU32(record.data() + 4, static_cast<uint32_t>(payload.size()));
+  std::memcpy(record.data() + kHeaderSize, payload.data(), payload.size());
   uint32_t crc = Crc32Init();
-  crc = Crc32Update(crc, header + 4, 4);
-  crc = Crc32Update(crc, payload.data(), payload.size());
-  PutU32(header, Crc32Finish(crc));
+  crc = Crc32Update(crc, record.data() + 4, 4 + payload.size());
+  PutU32(record.data(), Crc32Finish(crc));
 
-  out_.write(header, sizeof(header));
-  out_.write(payload.data(),
-             static_cast<std::streamsize>(payload.size()));
-  out_.flush();
-  if (!out_) return Status::IOError("append failed: " + path_);
-  return Status::OK();
+  TPS_RETURN_NOT_OK(file_->Append(record));
+  return file_->Flush();
 }
 
-Status RecordLogWriter::Flush() {
-  out_.flush();
-  if (!out_) return Status::IOError("flush failed: " + path_);
-  return Status::OK();
-}
+Status RecordLogWriter::Flush() { return file_->Flush(); }
 
-StatusOr<RecordLogContents> ReadRecordLog(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open record log: " + path);
+StatusOr<RecordLogContents> ReadRecordLog(const std::string& path,
+                                          Env* env) {
+  TPS_ASSIGN_OR_RETURN(uint64_t file_size, env->FileSize(path));
+  TPS_ASSIGN_OR_RETURN(std::unique_ptr<SequentialFile> file,
+                       env->NewSequentialFile(path));
 
   RecordLogContents contents;
-  while (true) {
-    char header[8];
-    in.read(header, sizeof(header));
-    if (in.gcount() == 0 && in.eof()) break;  // Clean end of log.
-    if (in.gcount() < static_cast<std::streamsize>(sizeof(header))) {
+  uint64_t offset = 0;
+  while (offset < file_size) {
+    char header[kHeaderSize];
+    if (file_size - offset < kHeaderSize) {
       contents.truncated_tail = true;  // Torn header.
+      break;
+    }
+    TPS_ASSIGN_OR_RETURN(size_t got,
+                         ReadFully(file.get(), kHeaderSize, header));
+    if (got < kHeaderSize) {
+      contents.truncated_tail = true;  // File shrank under us.
       break;
     }
     const uint32_t expected_crc = GetU32(header);
     const uint32_t length = GetU32(header + 4);
-    if (length > 0x7FFFFFFFu) {
-      contents.truncated_tail = true;  // Corrupt length.
+    // Cap the declared length by what the file can actually hold BEFORE
+    // allocating: a single corrupt length byte must read as a truncated
+    // tail, not a multi-GiB allocation.
+    if (length > kMaxRecordLength ||
+        static_cast<uint64_t>(length) > file_size - offset - kHeaderSize) {
+      contents.truncated_tail = true;  // Corrupt or overrunning length.
       break;
     }
     std::string payload(length, '\0');
-    in.read(payload.data(), static_cast<std::streamsize>(length));
-    if (in.gcount() < static_cast<std::streamsize>(length)) {
+    TPS_ASSIGN_OR_RETURN(got, ReadFully(file.get(), length, payload.data()));
+    if (got < length) {
       contents.truncated_tail = true;  // Torn payload.
       break;
     }
@@ -90,6 +101,8 @@ StatusOr<RecordLogContents> ReadRecordLog(const std::string& path) {
       contents.truncated_tail = true;  // Bit rot.
       break;
     }
+    offset += kHeaderSize + length;
+    contents.valid_prefix_bytes = offset;
     contents.records.push_back(std::move(payload));
   }
   return contents;

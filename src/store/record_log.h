@@ -2,10 +2,11 @@
 #define TPS_STORE_RECORD_LOG_H_
 
 #include <cstdint>
-#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "util/env.h"
 #include "util/statusor.h"
 
 namespace tps {
@@ -17,18 +18,30 @@ namespace tps {
 ///   [u32 crc] [u32 length] [length bytes payload]
 /// where crc covers the length field and the payload. Torn or corrupt
 /// tails are detected on read and reported (the reader returns the records
-/// up to the corruption plus a flag).
+/// up to the corruption plus the byte offset where the valid prefix ends,
+/// so recovery can truncate the tail before appending again).
+///
+/// All file access goes through an `Env` (default: POSIX), so tests can
+/// inject torn writes, short reads and rename failures deterministically.
 class RecordLogWriter {
  public:
-  /// Opens `path` for appending, creating it if absent.
-  static StatusOr<RecordLogWriter> Open(const std::string& path);
+  /// Opens `path` for appending, creating it if absent. `env` must
+  /// outlive the writer.
+  static StatusOr<RecordLogWriter> Open(const std::string& path,
+                                        Env* env = Env::Default());
+
+  /// Opens `path` truncated to empty (compaction rewrites).
+  static StatusOr<RecordLogWriter> Create(const std::string& path,
+                                          Env* env = Env::Default());
 
   RecordLogWriter(RecordLogWriter&&) = default;
   RecordLogWriter& operator=(RecordLogWriter&&) = default;
   RecordLogWriter(const RecordLogWriter&) = delete;
   RecordLogWriter& operator=(const RecordLogWriter&) = delete;
 
-  /// Appends one record and flushes it to the OS.
+  /// Appends one record and flushes it to the OS. The header and payload
+  /// go down in a single write so a torn write tears one record, never
+  /// two.
   Status Append(std::string_view payload);
 
   /// Flushes buffered writes.
@@ -37,10 +50,11 @@ class RecordLogWriter {
   const std::string& path() const { return path_; }
 
  private:
-  explicit RecordLogWriter(std::string path) : path_(std::move(path)) {}
+  RecordLogWriter(std::string path, std::unique_ptr<WritableFile> file)
+      : path_(std::move(path)), file_(std::move(file)) {}
 
   std::string path_;
-  std::ofstream out_;
+  std::unique_ptr<WritableFile> file_;
 };
 
 /// Result of reading a log file.
@@ -49,11 +63,17 @@ struct RecordLogContents {
   /// True when the file ended in a torn or corrupt record; `records` holds
   /// everything before it (standard crash-recovery semantics).
   bool truncated_tail = false;
+  /// Byte offset just past the last valid record: the length recovery
+  /// should truncate the file to before reopening it for append.
+  uint64_t valid_prefix_bytes = 0;
 };
 
 /// Reads all records of a log file. A missing file is an IOError; an empty
-/// file yields zero records.
-StatusOr<RecordLogContents> ReadRecordLog(const std::string& path);
+/// file yields zero records. Declared record lengths are capped by the
+/// bytes actually remaining in the file before any allocation, so a
+/// corrupt length byte is a truncated tail, not a giant allocation.
+StatusOr<RecordLogContents> ReadRecordLog(const std::string& path,
+                                          Env* env = Env::Default());
 
 }  // namespace tps
 

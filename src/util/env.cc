@@ -1,0 +1,132 @@
+#include "util/env.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace tps {
+
+StatusOr<size_t> ReadFully(SequentialFile* file, size_t n, char* scratch) {
+  size_t total = 0;
+  while (total < n) {
+    TPS_ASSIGN_OR_RETURN(size_t got,
+                         file->Read(n - total, scratch + total));
+    if (got == 0) break;  // EOF.
+    total += got;
+  }
+  return total;
+}
+
+namespace {
+
+class PosixSequentialFile final : public SequentialFile {
+ public:
+  PosixSequentialFile(std::string path, std::ifstream in)
+      : path_(std::move(path)), in_(std::move(in)) {}
+
+  StatusOr<size_t> Read(size_t n, char* scratch) override {
+    in_.read(scratch, static_cast<std::streamsize>(n));
+    const std::streamsize got = in_.gcount();
+    if (got < static_cast<std::streamsize>(n) && !in_.eof()) {
+      return Status::IOError("read failed: " + path_);
+    }
+    return static_cast<size_t>(got);
+  }
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+};
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, std::ofstream out)
+      : path_(std::move(path)), out_(std::move(out)) {}
+
+  Status Append(std::string_view data) override {
+    out_.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out_) return Status::IOError("write failed: " + path_);
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    out_.flush();
+    if (!out_) return Status::IOError("flush failed: " + path_);
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  StatusOr<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IOError("cannot open for read: " + path);
+    return std::unique_ptr<SequentialFile>(
+        new PosixSequentialFile(path, std::move(in)));
+  }
+
+  StatusOr<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    if (!out) return Status::IOError("cannot open for append: " + path);
+    return std::unique_ptr<WritableFile>(
+        new PosixWritableFile(path, std::move(out)));
+  }
+
+  StatusOr<std::unique_ptr<WritableFile>> NewTruncatedFile(
+      const std::string& path) override {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot create file: " + path);
+    return std::unique_ptr<WritableFile>(
+        new PosixWritableFile(path, std::move(out)));
+  }
+
+  bool FileExists(const std::string& path) override {
+    std::error_code ec;
+    return std::filesystem::exists(path, ec);
+  }
+
+  StatusOr<uint64_t> FileSize(const std::string& path) override {
+    std::error_code ec;
+    const uintmax_t size = std::filesystem::file_size(path, ec);
+    if (ec) return Status::IOError("cannot stat: " + path);
+    return static_cast<uint64_t>(size);
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    std::error_code ec;
+    std::filesystem::resize_file(path, size, ec);
+    if (ec) return Status::IOError("cannot truncate: " + path);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from,
+                    const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError("cannot rename " + from + " -> " + to);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) {
+      return Status::IOError("cannot remove: " + path);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+}  // namespace tps

@@ -1,0 +1,83 @@
+#ifndef TPS_UTIL_ENV_H_
+#define TPS_UTIL_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/statusor.h"
+
+namespace tps {
+
+/// Sequentially readable file handle (LevelDB-style seam between the store
+/// layer and the filesystem).
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  /// Reads up to `n` bytes into `scratch` and returns the number of bytes
+  /// read. Zero means end of file. May return fewer bytes than requested
+  /// even before EOF (a short read); callers that need exactly `n` bytes
+  /// must loop (see `ReadFully`).
+  virtual StatusOr<size_t> Read(size_t n, char* scratch) = 0;
+};
+
+/// Reads exactly `n` bytes unless EOF or an error intervenes; returns the
+/// number of bytes actually read. Loops over short reads so fault-injected
+/// or signal-interrupted reads cannot masquerade as a torn file.
+StatusOr<size_t> ReadFully(SequentialFile* file, size_t n, char* scratch);
+
+/// Append-only writable file handle.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Pushes buffered bytes to the OS.
+  virtual Status Flush() = 0;
+};
+
+/// Filesystem abstraction used by the persistence stack (record log,
+/// KvStore, ModelStore). Production code uses `Env::Default()` (POSIX);
+/// tests substitute a `FaultInjectingEnv` to exercise crash and
+/// corruption paths deterministically.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for sequential reading.
+  virtual StatusOr<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) = 0;
+
+  /// Opens `path` for appending, creating it if absent.
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) = 0;
+
+  /// Opens `path` truncated to empty (compaction temp files).
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewTruncatedFile(
+      const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  virtual StatusOr<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// Shrinks (or grows, zero-filled) `path` to exactly `size` bytes.
+  /// Recovery uses this to drop a torn tail before reopening for append.
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// The process-wide POSIX environment. Never null; not owned.
+  static Env* Default();
+};
+
+}  // namespace tps
+
+#endif  // TPS_UTIL_ENV_H_

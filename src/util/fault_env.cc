@@ -1,0 +1,89 @@
+#include "util/fault_env.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tps {
+
+/// Wraps a real WritableFile and applies the owning env's armed write
+/// faults. The write counter lives on the env so faults can target the
+/// Nth write across files (e.g. a compaction temp file after the log).
+class FaultInjectingWritableFile final : public WritableFile {
+ public:
+  FaultInjectingWritableFile(FaultInjectingEnv* env,
+                             std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    const uint64_t index = ++env_->writes_seen_;
+    if (env_->tear_at_write_ != 0 && index == env_->tear_at_write_) {
+      const size_t keep = static_cast<size_t>(
+          std::min<uint64_t>(env_->tear_keep_bytes_, data.size()));
+      if (keep > 0) {
+        TPS_RETURN_NOT_OK(base_->Append(data.substr(0, keep)));
+        TPS_RETURN_NOT_OK(base_->Flush());
+      }
+      return Status::IOError("injected torn write (kept " +
+                             std::to_string(keep) + " bytes)");
+    }
+    return base_->Append(data);
+  }
+
+  Status Flush() override { return base_->Flush(); }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+/// Caps each Read at the env's max chunk size to simulate short reads.
+class FaultInjectingSequentialFile final : public SequentialFile {
+ public:
+  FaultInjectingSequentialFile(FaultInjectingEnv* env,
+                               std::unique_ptr<SequentialFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  StatusOr<size_t> Read(size_t n, char* scratch) override {
+    return base_->Read(std::min(n, env_->max_read_chunk_), scratch);
+  }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<SequentialFile> base_;
+};
+
+StatusOr<std::unique_ptr<SequentialFile>>
+FaultInjectingEnv::NewSequentialFile(const std::string& path) {
+  TPS_ASSIGN_OR_RETURN(std::unique_ptr<SequentialFile> base,
+                       base_->NewSequentialFile(path));
+  return std::unique_ptr<SequentialFile>(
+      new FaultInjectingSequentialFile(this, std::move(base)));
+}
+
+StatusOr<std::unique_ptr<WritableFile>>
+FaultInjectingEnv::NewAppendableFile(const std::string& path) {
+  TPS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                       base_->NewAppendableFile(path));
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectingWritableFile(this, std::move(base)));
+}
+
+StatusOr<std::unique_ptr<WritableFile>>
+FaultInjectingEnv::NewTruncatedFile(const std::string& path) {
+  TPS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                       base_->NewTruncatedFile(path));
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectingWritableFile(this, std::move(base)));
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  ++renames_seen_;
+  if (failing_renames_ > 0) {
+    --failing_renames_;
+    return Status::IOError("injected rename failure: " + from + " -> " + to);
+  }
+  return base_->RenameFile(from, to);
+}
+
+}  // namespace tps

@@ -1,0 +1,97 @@
+#ifndef TPS_UTIL_FAULT_ENV_H_
+#define TPS_UTIL_FAULT_ENV_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "util/env.h"
+
+namespace tps {
+
+/// An Env decorator that injects deterministic filesystem faults, used by
+/// the store test suite to simulate crashes mid-write, torn sectors, short
+/// reads and failed renames without any real I/O error.
+///
+/// Faults are armed by call index (1-based, counted across all files the
+/// env has opened), so a test can say "the 3rd Append tears after 5 bytes"
+/// and replay the exact failure every run. All other calls pass straight
+/// through to the base env. Single-threaded, like the store layer itself.
+class FaultInjectingEnv final : public Env {
+ public:
+  /// `base` must outlive this env; it is not owned.
+  explicit FaultInjectingEnv(Env* base) : base_(base) {}
+
+  // --- Fault arming. ---
+
+  /// The `nth` Append (1-based, counted from the last Reset) writes only
+  /// the first `keep_bytes` bytes of its payload, then returns IOError —
+  /// a torn write. `keep_bytes` past the payload size keeps it all (the
+  /// write lands but still reports failure, like a crash after the write
+  /// hit the disk but before the ack).
+  void TearWrite(uint64_t nth, uint64_t keep_bytes) {
+    tear_at_write_ = nth;
+    tear_keep_bytes_ = keep_bytes;
+  }
+
+  /// The `nth` Append fails cleanly: no bytes written.
+  void FailWrite(uint64_t nth) { TearWrite(nth, 0); }
+
+  /// The next `count` RenameFile calls fail without renaming.
+  void FailRenames(uint64_t count) { failing_renames_ = count; }
+
+  /// Every SequentialFile::Read returns at most `max_bytes` (short reads).
+  void SetMaxReadChunk(size_t max_bytes) { max_read_chunk_ = max_bytes; }
+
+  /// Disarms all faults and resets the operation counters.
+  void Reset() {
+    writes_seen_ = 0;
+    renames_seen_ = 0;
+    tear_at_write_ = 0;
+    tear_keep_bytes_ = 0;
+    failing_renames_ = 0;
+    max_read_chunk_ = std::numeric_limits<size_t>::max();
+  }
+
+  // --- Operation counters (for assertions). ---
+  uint64_t writes_seen() const { return writes_seen_; }
+  uint64_t renames_seen() const { return renames_seen_; }
+
+  // --- Env interface. ---
+  StatusOr<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override;
+  StatusOr<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override;
+  StatusOr<std::unique_ptr<WritableFile>> NewTruncatedFile(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  StatusOr<uint64_t> FileSize(const std::string& path) override {
+    return base_->FileSize(path);
+  }
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    return base_->TruncateFile(path, size);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override {
+    return base_->RemoveFile(path);
+  }
+
+ private:
+  friend class FaultInjectingWritableFile;
+  friend class FaultInjectingSequentialFile;
+
+  Env* base_;
+  uint64_t writes_seen_ = 0;
+  uint64_t renames_seen_ = 0;
+  uint64_t tear_at_write_ = 0;  // 0 = disarmed.
+  uint64_t tear_keep_bytes_ = 0;
+  uint64_t failing_renames_ = 0;
+  size_t max_read_chunk_ = std::numeric_limits<size_t>::max();
+};
+
+}  // namespace tps
+
+#endif  // TPS_UTIL_FAULT_ENV_H_

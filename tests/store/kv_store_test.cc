@@ -1,6 +1,7 @@
 #include "store/kv_store.h"
 
 #include <cstdio>
+#include <fstream>
 #include <map>
 
 #include <gtest/gtest.h>
@@ -115,6 +116,45 @@ TEST(KvStoreTest, WritesAfterCompactionSurviveReopen) {
   auto store = std::move(KvStore::Open(path)).value();
   EXPECT_EQ(*store.Get("a"), "1");
   EXPECT_EQ(*store.Get("b"), "2");
+}
+
+TEST(KvStoreTest, TornTailIsTruncatedSoPostRecoveryWritesSurvive) {
+  // Regression test for the torn-tail data-loss bug: Open used to reopen
+  // the log for append WITHOUT truncating a detected torn tail, so every
+  // post-recovery append sat behind corrupt bytes and was silently
+  // discarded by the next replay.
+  const std::string path = TempPath("kv_torn_tail.log");
+  {
+    auto store = std::move(KvStore::Open(path)).value();
+    ASSERT_TRUE(store.Put("survivor", "intact").ok());
+    ASSERT_TRUE(store.Put("victim", "will be torn").ok());
+  }
+  // Chop a few bytes off the end (crash mid-append of the second record).
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() - 3);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  out.close();
+
+  {
+    auto store = std::move(KvStore::Open(path)).value();
+    EXPECT_TRUE(store.recovery_stats().tail_was_torn);
+    // The whole torn record (8 header + 5 op/keylen + 6 key + 12 value)
+    // minus the 3 chopped bytes.
+    EXPECT_EQ(store.recovery_stats().bytes_truncated, 8u + 23u - 3u);
+    EXPECT_EQ(store.recovery_stats().records_replayed, 1u);
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_FALSE(store.Contains("victim"));
+    ASSERT_TRUE(store.Put("after-crash", "must survive").ok());
+  }
+  auto store = std::move(KvStore::Open(path)).value();
+  EXPECT_FALSE(store.recovery_stats().tail_was_torn);
+  EXPECT_EQ(*store.Get("survivor"), "intact");
+  EXPECT_EQ(*store.Get("after-crash"), "must survive");
+  EXPECT_EQ(store.size(), 2u);
 }
 
 TEST(KvStoreTest, RandomOpsMatchReferenceModel) {

@@ -105,6 +105,69 @@ TEST(RecordLogTest, BitRotIsDetected) {
   EXPECT_EQ(contents.records[0], "good");
 }
 
+TEST(RecordLogTest, ReportsValidPrefixBytes) {
+  const std::string path = TempPath("log_prefix_bytes.log");
+  {
+    auto writer = std::move(RecordLogWriter::Open(path)).value();
+    ASSERT_TRUE(writer.Append("abcd").ok());   // 8 + 4 bytes.
+    ASSERT_TRUE(writer.Append("efghij").ok());  // 8 + 6 bytes.
+  }
+  auto clean = *ReadRecordLog(path);
+  EXPECT_EQ(clean.valid_prefix_bytes, 26u);
+
+  // Chop into the second record: the valid prefix ends after the first.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(20);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  out.close();
+
+  auto torn = *ReadRecordLog(path);
+  EXPECT_TRUE(torn.truncated_tail);
+  EXPECT_EQ(torn.valid_prefix_bytes, 12u);
+  ASSERT_EQ(torn.records.size(), 1u);
+}
+
+TEST(RecordLogTest, OverrunningLengthIsTornTailNotAGiantAllocation) {
+  // A header declaring ~2 GiB with only a few bytes behind it must be
+  // treated as a truncated tail without allocating the declared length.
+  const std::string path = TempPath("log_overrun_length.log");
+  {
+    auto writer = std::move(RecordLogWriter::Open(path)).value();
+    ASSERT_TRUE(writer.Append("good").ok());
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  const char bogus_header[8] = {'\xDE', '\xAD', '\xBE', '\xEF',  // crc
+                                '\x00', '\x00', '\xFF', '\x7F'};  // length
+  out.write(bogus_header, sizeof(bogus_header));
+  out << "tiny";
+  out.close();
+
+  auto contents = *ReadRecordLog(path);
+  EXPECT_TRUE(contents.truncated_tail);
+  EXPECT_EQ(contents.valid_prefix_bytes, 12u);
+  ASSERT_EQ(contents.records.size(), 1u);
+  EXPECT_EQ(contents.records[0], "good");
+}
+
+TEST(RecordLogTest, CreateTruncatesAnExistingLog) {
+  const std::string path = TempPath("log_create.log");
+  {
+    auto writer = std::move(RecordLogWriter::Open(path)).value();
+    ASSERT_TRUE(writer.Append("stale").ok());
+  }
+  {
+    auto writer = std::move(RecordLogWriter::Create(path)).value();
+    ASSERT_TRUE(writer.Append("fresh").ok());
+  }
+  auto contents = *ReadRecordLog(path);
+  ASSERT_EQ(contents.records.size(), 1u);
+  EXPECT_EQ(contents.records[0], "fresh");
+}
+
 TEST(RecordLogTest, MissingFileIsIOError) {
   EXPECT_TRUE(ReadRecordLog("/no/such/log").status().IsIOError());
 }

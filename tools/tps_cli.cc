@@ -21,6 +21,14 @@
 //   tps_cli datasets --domain=nlp | models --domain=cv | card --model=NAME
 //       Inventory inspection.
 //
+//   tps_cli store-info --store=store.log
+//       Open a model store, print per-namespace entry counts and the
+//       recovery stats (records replayed, torn-tail bytes truncated).
+//
+//   tps_cli store-compact --store=store.log
+//       Compact a model store's log (drop overwritten/deleted records)
+//       and print the log size before/after plus recovery stats.
+//
 // All subcommands are deterministic; no flags are required beyond the ones
 // shown (defaults in brackets). `offline`, `recall` and `select` accept
 // --threads=N (default 1) to fan independent simulator/proxy work over a
@@ -55,7 +63,7 @@ int Fail(const Status& status) {
 int Usage() {
   std::cerr
       << "usage: tps_cli <offline|recall|select|baselines|datasets|models|"
-         "card> [--flags]\n"
+         "card|store-info|store-compact> [--flags]\n"
          "run `head tools/tps_cli.cc` for the full flag reference\n";
   return 2;
 }
@@ -426,6 +434,67 @@ int RunCard(const FlagParser& flags) {
   return Fail(Status::NotFound("model not found in either zoo: " + name));
 }
 
+/// Prints the line both store subcommands share: what recovery found when
+/// the log was replayed. This is the observable face of torn-tail
+/// recovery — a crashed writer shows up here as truncated bytes.
+void PrintRecoveryStats(const ModelStore& store) {
+  std::cout << "recovery: " << store.recovery_stats().ToString() << "\n";
+}
+
+int RunStoreInfo(const FlagParser& flags) {
+  const std::string store_path = flags.GetString("store");
+  if (store_path.empty()) {
+    return Fail(Status::InvalidArgument("--store is required"));
+  }
+  auto store_or = ModelStore::Open(store_path);
+  if (!store_or.ok()) return Fail(store_or.status());
+  const ModelStore& store = *store_or;
+
+  std::cout << "model store: " << store_path << "\n";
+  PrintRecoveryStats(store);
+  std::cout << "log records: " << store.log_records() << " ("
+            << store.size() << " live entries)\n";
+  TablePrinter table({"namespace", "entries", "ids"});
+  const auto row = [&table](const char* ns, std::vector<std::string> ids) {
+    constexpr size_t kMaxShown = 4;
+    const size_t total = ids.size();
+    std::string shown;
+    if (total > kMaxShown) {
+      ids.resize(kMaxShown);
+      shown = strings::Join(ids, " ") + " ... +" +
+              std::to_string(total - kMaxShown) + " more";
+    } else {
+      shown = strings::Join(ids, " ");
+    }
+    table.AddRow({ns, std::to_string(total), shown});
+  };
+  row("model", store.ListModels());
+  row("dataset", store.ListDatasets());
+  row("matrix", store.ListMatrices());
+  row("clustering", store.ListClusterings());
+  table.Print(std::cout);
+  return 0;
+}
+
+int RunStoreCompact(const FlagParser& flags) {
+  const std::string store_path = flags.GetString("store");
+  if (store_path.empty()) {
+    return Fail(Status::InvalidArgument("--store is required"));
+  }
+  auto store_or = ModelStore::Open(store_path);
+  if (!store_or.ok()) return Fail(store_or.status());
+  ModelStore store = std::move(store_or).value();
+
+  PrintRecoveryStats(store);
+  const size_t before = store.log_records();
+  Status compacted = store.Compact();
+  if (!compacted.ok()) return Fail(compacted);
+  std::cout << "compacted " << store_path << ": " << before << " -> "
+            << store.log_records() << " log records (" << store.size()
+            << " live entries)\n";
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   auto flags_or = FlagParser::Parse(argc, argv);
   if (!flags_or.ok()) return Fail(flags_or.status());
@@ -439,6 +508,8 @@ int Main(int argc, char** argv) {
   if (command == "datasets") return RunDatasets(flags);
   if (command == "models") return RunModels(flags);
   if (command == "card") return RunCard(flags);
+  if (command == "store-info") return RunStoreInfo(flags);
+  if (command == "store-compact") return RunStoreCompact(flags);
   return Usage();
 }
 
