@@ -10,10 +10,16 @@
 // paper's cost unit; this section shows the real-time speedup the shared
 // pool buys on this machine.
 
+// Alongside the printed tables, machine-readable telemetry is written to
+// BENCH_table5_time_comparison.json (see bench/telemetry.h): one phase per
+// (target, method, candidate-set) cell with its wall time and training
+// epochs, plus a recall phase per target with the proxy inference cost.
+
 #include <algorithm>
 #include <iostream>
 
 #include "bench/harness.h"
+#include "bench/telemetry.h"
 #include "core/baselines.h"
 #include "core/coarse_recall.h"
 #include "core/convergence_trend.h"
@@ -29,7 +35,8 @@ namespace tps {
 namespace bench {
 namespace {
 
-void Report(TaskDomain domain, const char* title) {
+void Report(TaskDomain domain, const char* title,
+            BenchTelemetry* telemetry) {
   World world = ExitIfError(BuildWorld(domain), "build world");
   const Hyperparams hp = world.DefaultHp();
 
@@ -50,9 +57,14 @@ void Report(TaskDomain domain, const char* title) {
                       "epochs@all", "speedup@all"});
 
   for (const Dataset* target : world.Targets()) {
+    const std::string prefix = std::string(title) + "/" + target->name();
+    WallTimer timer;
+    EpochBudget recall_budget;
     RecallResult rr = ExitIfError(
-        recall.Recall(*target, RecallOptions(), nullptr),
+        recall.Recall(*target, RecallOptions(), &recall_budget),
         "recall " + target->name());
+    telemetry->RecordPhase(prefix + "/recall", timer.ElapsedMillis(), 0.0,
+                           recall_budget.inference_epochs());
     const std::vector<size_t> top10 = rr.TopModels(10);
 
     struct MethodRow {
@@ -62,25 +74,29 @@ void Report(TaskDomain domain, const char* title) {
     };
     std::vector<MethodRow> rows;
 
-    const SelectionOutcome bf10 = ExitIfError(
-        bf.Select(top10, *target, hp, nullptr), "bf10 " + target->name());
-    const SelectionOutcome bf_all = ExitIfError(
-        bf.Select(all_models, *target, hp, nullptr),
-        "bf-all " + target->name());
+    // Runs one (method, candidate-set) cell, recording its wall time and
+    // training-epoch cost as a telemetry phase.
+    const auto run_cell = [&](const auto& selector, const char* cell,
+                              const std::vector<size_t>& candidates) {
+      timer.Restart();
+      const SelectionOutcome outcome = ExitIfError(
+          selector.Select(candidates, *target, hp, nullptr),
+          std::string(cell) + " " + target->name());
+      telemetry->RecordPhase(prefix + "/" + cell, timer.ElapsedMillis(),
+                             outcome.training_epochs, 0.0);
+      return outcome;
+    };
+
+    const SelectionOutcome bf10 = run_cell(bf, "bf@10", top10);
+    const SelectionOutcome bf_all = run_cell(bf, "bf@all", all_models);
     rows.push_back({"BF", bf10.training_epochs, bf_all.training_epochs});
 
-    const SelectionOutcome sh10 = ExitIfError(
-        sh.Select(top10, *target, hp, nullptr), "sh10 " + target->name());
-    const SelectionOutcome sh_all = ExitIfError(
-        sh.Select(all_models, *target, hp, nullptr),
-        "sh-all " + target->name());
+    const SelectionOutcome sh10 = run_cell(sh, "sh@10", top10);
+    const SelectionOutcome sh_all = run_cell(sh, "sh@all", all_models);
     rows.push_back({"SH", sh10.training_epochs, sh_all.training_epochs});
 
-    const SelectionOutcome fs10 = ExitIfError(
-        fs.Select(top10, *target, hp, nullptr), "fs10 " + target->name());
-    const SelectionOutcome fs_all = ExitIfError(
-        fs.Select(all_models, *target, hp, nullptr),
-        "fs-all " + target->name());
+    const SelectionOutcome fs10 = run_cell(fs, "fs@10", top10);
+    const SelectionOutcome fs_all = run_cell(fs, "fs@all", all_models);
     rows.push_back({"FS", fs10.training_epochs, fs_all.training_epochs});
 
     for (const MethodRow& row : rows) {
@@ -147,8 +163,10 @@ void ReportWallClock(TaskDomain domain, const char* title, int num_threads,
 int main(int argc, char** argv) {
   auto flags = tps::FlagParser::Parse(argc, argv);
   tps::bench::ExitIfError(flags.status(), "parse flags");
-  tps::bench::Report(tps::TaskDomain::kNLP, "NLP");
-  tps::bench::Report(tps::TaskDomain::kCV, "CV");
+  tps::bench::BenchTelemetry telemetry("table5_time_comparison");
+  tps::bench::Report(tps::TaskDomain::kNLP, "NLP", &telemetry);
+  tps::bench::Report(tps::TaskDomain::kCV, "CV", &telemetry);
+  telemetry.WriteFileOrWarn();
   if (*flags->GetBool("parallel-timing", false)) {
     const int threads = static_cast<int>(
         *flags->GetInt("threads", tps::ThreadPool::DefaultThreads()));

@@ -4,9 +4,15 @@
 // the full zoo. The paper reports 2PH at ~5.5-10.5x over BF and ~2.5-4x
 // over SH with accuracy within a point of BF.
 
+// Alongside the printed table, machine-readable telemetry is written to
+// BENCH_table6_end_to_end.json (see bench/telemetry.h): per-target recall
+// and fine-selection phases with wall time + epoch costs, plus the BF/SH
+// cost and accuracy scalars backing every table cell.
+
 #include <iostream>
 
 #include "bench/harness.h"
+#include "bench/telemetry.h"
 #include "core/baselines.h"
 #include "core/two_phase.h"
 #include "util/string_util.h"
@@ -16,7 +22,7 @@ namespace tps {
 namespace bench {
 namespace {
 
-void Report(TaskDomain domain, const char* title) {
+void Report(TaskDomain domain, const char* title, BenchTelemetry* telemetry) {
   World world = ExitIfError(BuildWorld(domain), "build world");
   const Hyperparams hp = world.DefaultHp();
 
@@ -34,9 +40,17 @@ void Report(TaskDomain domain, const char* title) {
                       "acc SH", "acc 2PH"});
 
   for (const Dataset* target : world.Targets()) {
+    SelectionTrace trace;
+    TwoPhaseOptions options;
+    options.trace = &trace;
     TwoPhaseReport report = ExitIfError(
-        two_phase.Select(*target, TwoPhaseOptions(), hp),
+        two_phase.Select(*target, options, hp),
         "two-phase " + target->name());
+    const std::string prefix = std::string(title) + "/" + target->name();
+    telemetry->RecordPhase(prefix + "/recall", trace.recall.wall_ms, 0.0,
+                           trace.recall.inference_epochs);
+    telemetry->RecordPhase(prefix + "/fine", trace.fine_wall_ms,
+                           trace.training_epochs, 0.0);
     EpochBudget bf_budget;
     const SelectionOutcome bf_out = ExitIfError(
         bf.Select(all_models, *target, hp, &bf_budget),
@@ -47,6 +61,13 @@ void Report(TaskDomain domain, const char* title) {
         "sh " + target->name());
 
     const double t2 = report.budget.total_epochs();
+    telemetry->RecordValue(prefix + "/two_phase_epochs", t2);
+    telemetry->RecordValue(prefix + "/bf_epochs", bf_budget.total_epochs());
+    telemetry->RecordValue(prefix + "/sh_epochs", sh_budget.total_epochs());
+    telemetry->RecordValue(prefix + "/acc_bf", bf_out.selected_accuracy);
+    telemetry->RecordValue(prefix + "/acc_sh", sh_out.selected_accuracy);
+    telemetry->RecordValue(prefix + "/acc_two_phase",
+                           report.selection.selected_accuracy);
     table.AddRow({target->name(), strings::FormatDouble(t2, 1),
                   strings::Format("%.2fx", bf_budget.total_epochs() / t2),
                   strings::Format("%.2fx", sh_budget.total_epochs() / t2),
@@ -64,7 +85,9 @@ void Report(TaskDomain domain, const char* title) {
 }  // namespace tps
 
 int main() {
-  tps::bench::Report(tps::TaskDomain::kNLP, "NLP");
-  tps::bench::Report(tps::TaskDomain::kCV, "CV");
+  tps::bench::BenchTelemetry telemetry("table6_end_to_end");
+  tps::bench::Report(tps::TaskDomain::kNLP, "NLP", &telemetry);
+  tps::bench::Report(tps::TaskDomain::kCV, "CV", &telemetry);
+  telemetry.WriteFileOrWarn();
   return 0;
 }

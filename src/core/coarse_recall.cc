@@ -5,6 +5,7 @@
 #include "clustering/distance.h"
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/timer.h"
 
 namespace tps {
 
@@ -36,7 +37,11 @@ CoarseRecall::CoarseRecall(const ModelZoo* zoo,
 StatusOr<RecallResult> CoarseRecall::Recall(const Dataset& target,
                                             const RecallOptions& options,
                                             EpochBudget* budget,
-                                            ThreadPool* pool) const {
+                                            ThreadPool* pool,
+                                            MetricsRegistry* metrics,
+                                            SelectionTrace* trace) const {
+  if (metrics == nullptr) metrics = MetricsRegistry::Default();
+  WallTimer phase_timer;
   const size_t n = zoo_->size();
   if (n == 0) return Status::FailedPrecondition("empty model zoo");
   if (clustering_->clusters.assignments.size() != n) {
@@ -166,6 +171,36 @@ StatusOr<RecallResult> CoarseRecall::Recall(const Dataset& target,
                    [](const RecallEntry& a, const RecallEntry& b) {
                      return a.recall_score > b.recall_score;
                    });
+
+  // --- Observability (pure recording; the result above is final). ---
+  const double wall_ms = phase_timer.ElapsedMillis();
+  metrics->counter("recall.runs").Increment();
+  metrics->counter("recall.proxies_computed")
+      .Increment(result.proxies_computed);
+  metrics->counter("recall.models_ranked").Increment(n);
+  metrics->histogram("recall.wall_us").Record(wall_ms * 1e3);
+  if (trace != nullptr) {
+    trace->recall.scored.clear();
+    for (size_t i = 0; i < scored_models.size(); ++i) {
+      TraceProxyScore score;
+      score.model_index = scored_models[i];
+      score.cluster = clustering_->ClusterOf(scored_models[i]);
+      score.norm_score = norm_scores[i];
+      trace->recall.scored.push_back(score);
+    }
+    trace->recall.ranked.clear();
+    for (const RecallEntry& entry : result.ranked) {
+      trace->recall.ranked.push_back(
+          TraceRecallEntry{entry.model_index, entry.recall_score,
+                           entry.prior_accuracy, entry.proxy_component,
+                           entry.via_propagation});
+    }
+    trace->recall.recalled = result.TopModels(options.top_k_models);
+    trace->recall.proxies_computed = result.proxies_computed;
+    trace->recall.inference_epochs =
+        0.5 * static_cast<double>(result.proxies_computed);
+    trace->recall.wall_ms = wall_ms;
+  }
   return result;
 }
 

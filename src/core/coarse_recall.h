@@ -7,10 +7,12 @@
 
 #include "core/model_clusterer.h"
 #include "core/performance_matrix.h"
+#include "core/selection_trace.h"
 #include "data/dataset.h"
 #include "model/zoo.h"
 #include "sim/epoch_budget.h"
 #include "transfer/proxy_scorer.h"
+#include "util/metrics.h"
 #include "util/statusor.h"
 #include "util/thread_pool.h"
 
@@ -84,10 +86,17 @@ class CoarseRecall {
   /// task writes an index-addressed slot and the normalization/ranking
   /// reductions stay serial in model-index order, so the result (ranking,
   /// scores, tie order, budget) is bit-identical to the serial run.
+  ///
+  /// Observability (never affects the result — see
+  /// tests/core/metrics_inertness_test.cc): `metrics` receives recall
+  /// counters/latency (nullptr -> MetricsRegistry::Default()); when
+  /// `trace` is non-null its recall phase is filled in.
   StatusOr<RecallResult> Recall(const Dataset& target,
                                 const RecallOptions& options,
                                 EpochBudget* budget,
-                                ThreadPool* pool = nullptr) const;
+                                ThreadPool* pool = nullptr,
+                                MetricsRegistry* metrics = nullptr,
+                                SelectionTrace* trace = nullptr) const;
 
  private:
   const ModelZoo* zoo_;

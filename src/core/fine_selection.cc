@@ -4,6 +4,7 @@
 
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/timer.h"
 
 namespace tps {
 
@@ -19,7 +20,8 @@ FineSelectionSelector::FineSelectionSelector(
 
 StatusOr<SelectionOutcome> FineSelectionSelector::Select(
     const std::vector<size_t>& candidates, const Dataset& target,
-    const Hyperparams& hp, EpochBudget* budget, ThreadPool* pool) const {
+    const Hyperparams& hp, EpochBudget* budget, ThreadPool* pool,
+    MetricsRegistry* metrics, SelectionTrace* trace) const {
   if (candidates.empty()) {
     return Status::InvalidArgument("fine-selection needs >= 1 candidate");
   }
@@ -28,6 +30,8 @@ StatusOr<SelectionOutcome> FineSelectionSelector::Select(
       return Status::OutOfRange("candidate index out of range");
     }
   }
+  if (metrics == nullptr) metrics = MetricsRegistry::Default();
+  WallTimer phase_timer;
 
   // Deterministic full curves; prefixes are consumed stage by stage. Each
   // candidate's run is an independent simulated fine-tune, so they fan out
@@ -43,14 +47,34 @@ StatusOr<SelectionOutcome> FineSelectionSelector::Select(
   SelectionOutcome outcome;
   std::vector<size_t> remaining(candidates.size());
   for (size_t i = 0; i < remaining.size(); ++i) remaining[i] = i;
+  // Positions into `candidates` -> zoo indices, for the trace.
+  const auto zoo_indices = [&](const std::vector<size_t>& positions) {
+    std::vector<size_t> indices;
+    indices.reserve(positions.size());
+    for (size_t pos : positions) indices.push_back(candidates[pos]);
+    return indices;
+  };
 
   for (int stage = 0; stage < hp.epochs; ++stage) {
+    TraceStage stage_trace;
+    stage_trace.stage = stage;
+    if (trace != nullptr) stage_trace.entrants = zoo_indices(remaining);
+    stage_trace.epochs_charged = static_cast<double>(remaining.size());
+
     outcome.survivors_per_stage.push_back(remaining.size());
     outcome.training_epochs += static_cast<double>(remaining.size());
     if (budget != nullptr) {
       budget->ChargeTraining(static_cast<double>(remaining.size()));
     }
-    if (remaining.size() <= 1) continue;
+    metrics->counter("fine.stages").Increment();
+    metrics->counter("fine.epoch_steps").Increment(remaining.size());
+    if (remaining.size() <= 1) {
+      if (trace != nullptr) {
+        stage_trace.survivors = zoo_indices(remaining);
+        trace->stages.push_back(std::move(stage_trace));
+      }
+      continue;
+    }
 
     const auto val_at_stage = [&](size_t pos) {
       return runs[pos].val_accuracy[static_cast<size_t>(stage)];
@@ -95,6 +119,18 @@ StatusOr<SelectionOutcome> FineSelectionSelector::Select(
             options_.threshold * predictions[j];
         if (better_val && better_pred) {
           removed[j] = true;
+          if (trace != nullptr) {
+            TracePrune prune;
+            prune.model_index = candidates[remaining[j]];
+            prune.pruned_by = candidates[remaining[i]];
+            prune.val = val_at_stage(remaining[j]);
+            prune.by_val = val_at_stage(remaining[i]);
+            prune.predicted = predictions[j];
+            prune.by_predicted = predictions[i];
+            prune.margin = predictions[i] - predictions[j] -
+                           options_.threshold * predictions[j];
+            stage_trace.prunes.push_back(prune);
+          }
           break;
         }
       }
@@ -104,6 +140,8 @@ StatusOr<SelectionOutcome> FineSelectionSelector::Select(
       if (!removed[r]) survivors.push_back(remaining[r]);
     }
     TPS_CHECK(!survivors.empty());  // The best-val model is never removed.
+    metrics->counter("fine.trend_prunes")
+        .Increment(remaining.size() - survivors.size());
 
     // Halving backstop: ensure at least half the stage's pool is gone.
     const size_t keep = std::max<size_t>(1, remaining.size() / 2);
@@ -112,9 +150,20 @@ StatusOr<SelectionOutcome> FineSelectionSelector::Select(
                        [&](size_t a, size_t b) {
                          return val_at_stage(a) > val_at_stage(b);
                        });
+      if (trace != nullptr) {
+        stage_trace.halving_drops = zoo_indices(std::vector<size_t>(
+            survivors.begin() + static_cast<ptrdiff_t>(keep),
+            survivors.end()));
+      }
+      metrics->counter("fine.halving_drops")
+          .Increment(survivors.size() - keep);
       survivors.resize(keep);
     }
     remaining = std::move(survivors);
+    if (trace != nullptr) {
+      stage_trace.survivors = zoo_indices(remaining);
+      trace->stages.push_back(std::move(stage_trace));
+    }
   }
 
   size_t best = remaining[0];
@@ -125,6 +174,16 @@ StatusOr<SelectionOutcome> FineSelectionSelector::Select(
   }
   outcome.selected_model = candidates[best];
   outcome.selected_accuracy = runs[best].final_test();
+
+  const double wall_ms = phase_timer.ElapsedMillis();
+  metrics->counter("fine.runs").Increment();
+  metrics->histogram("fine.wall_us").Record(wall_ms * 1e3);
+  if (trace != nullptr) {
+    trace->fine_wall_ms = wall_ms;
+    trace->selected_model = outcome.selected_model;
+    trace->selected_accuracy = outcome.selected_accuracy;
+    trace->training_epochs = outcome.training_epochs;
+  }
   return outcome;
 }
 

@@ -5,11 +5,13 @@
 
 #include "core/convergence_trend.h"
 #include "core/selection.h"
+#include "core/selection_trace.h"
 #include "data/dataset.h"
 #include "model/zoo.h"
 #include "sim/epoch_budget.h"
 #include "sim/finetune_simulator.h"
 #include "sim/hyperparams.h"
+#include "util/metrics.h"
 #include "util/statusor.h"
 #include "util/thread_pool.h"
 
@@ -52,11 +54,20 @@ class FineSelectionSelector {
   /// on the pool; every task writes an index-addressed slot and the
   /// fine-filter / halving step stays serial, so the outcome and the
   /// budget ledger are bit-identical to the serial run.
+  ///
+  /// Observability (never affects the result — see
+  /// tests/core/metrics_inertness_test.cc): `metrics` receives rung/prune
+  /// counters (nullptr -> MetricsRegistry::Default()); when `trace` is
+  /// non-null every rung — entrants, each trend-based prune with its
+  /// predicted-vs-threshold margin, halving drops, survivors — is appended
+  /// to trace->stages.
   StatusOr<SelectionOutcome> Select(const std::vector<size_t>& candidates,
                                     const Dataset& target,
                                     const Hyperparams& hp,
                                     EpochBudget* budget,
-                                    ThreadPool* pool = nullptr) const;
+                                    ThreadPool* pool = nullptr,
+                                    MetricsRegistry* metrics = nullptr,
+                                    SelectionTrace* trace = nullptr) const;
 
   const FineSelectionOptions& options() const { return options_; }
 

@@ -5,8 +5,10 @@
 #include <sstream>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace tps {
 
@@ -51,6 +53,7 @@ StatusOr<PerformanceMatrix> PerformanceMatrix::BuildOnPool(
     }
   }
 
+  WallTimer build_timer;
   PerformanceMatrix pm;
   for (const PretrainedModel& model : zoo.models()) {
     pm.model_names_.push_back(model.name());
@@ -74,6 +77,11 @@ StatusOr<PerformanceMatrix> PerformanceMatrix::BuildOnPool(
     pm.runs_[index] = std::move(run);
     return Status::OK();
   }));
+  MetricsRegistry& metrics = *MetricsRegistry::Default();
+  metrics.counter("matrix.builds").Increment();
+  metrics.counter("matrix.cells_built").Increment(total);
+  metrics.histogram("matrix.build_wall_us")
+      .Record(build_timer.ElapsedMillis() * 1e3);
   return pm;
 }
 

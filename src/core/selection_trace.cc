@@ -1,0 +1,205 @@
+#include "core/selection_trace.h"
+
+#include <cmath>
+
+#include "util/json.h"
+
+namespace tps {
+
+namespace {
+
+json::Value IndexArray(const std::vector<size_t>& indices) {
+  json::Value array = json::Value::Array();
+  for (size_t index : indices) {
+    array.Append(json::Value::Int(static_cast<int64_t>(index)));
+  }
+  return array;
+}
+
+StatusOr<std::vector<size_t>> ParseIndexArray(const json::Value& parent,
+                                              const std::string& key) {
+  TPS_ASSIGN_OR_RETURN(const json::Value* array, parent.GetArray(key));
+  std::vector<size_t> indices;
+  indices.reserve(array->items().size());
+  for (const json::Value& item : array->items()) {
+    if (!item.is_number() || item.number() < 0.0 ||
+        item.number() != std::floor(item.number())) {
+      return Status::InvalidArgument("non-index element in " + key);
+    }
+    indices.push_back(static_cast<size_t>(item.number()));
+  }
+  return indices;
+}
+
+StatusOr<size_t> ParseIndex(const json::Value& parent,
+                            const std::string& key) {
+  TPS_ASSIGN_OR_RETURN(double raw, parent.GetNumber(key));
+  if (raw < 0.0 || raw != std::floor(raw)) {
+    return Status::InvalidArgument("member is not an index: " + key);
+  }
+  return static_cast<size_t>(raw);
+}
+
+}  // namespace
+
+std::string SelectionTrace::ToJson(int indent) const {
+  json::Value root = json::Value::Object();
+  root.Set("schema_version", json::Value::Int(kSchemaVersion));
+  root.Set("target", json::Value::String(target));
+  root.Set("domain", json::Value::String(domain));
+
+  json::Value recall_v = json::Value::Object();
+  json::Value scored = json::Value::Array();
+  for (const TraceProxyScore& s : recall.scored) {
+    json::Value entry = json::Value::Object();
+    entry.Set("model", json::Value::Int(static_cast<int64_t>(s.model_index)));
+    entry.Set("cluster", json::Value::Int(s.cluster));
+    entry.Set("norm_score", json::Value::Number(s.norm_score));
+    scored.Append(std::move(entry));
+  }
+  recall_v.Set("scored", std::move(scored));
+  json::Value ranked = json::Value::Array();
+  for (const TraceRecallEntry& e : recall.ranked) {
+    json::Value entry = json::Value::Object();
+    entry.Set("model", json::Value::Int(static_cast<int64_t>(e.model_index)));
+    entry.Set("recall_score", json::Value::Number(e.recall_score));
+    entry.Set("prior_accuracy", json::Value::Number(e.prior_accuracy));
+    entry.Set("proxy_component", json::Value::Number(e.proxy_component));
+    entry.Set("via_propagation", json::Value::Bool(e.via_propagation));
+    ranked.Append(std::move(entry));
+  }
+  recall_v.Set("ranked", std::move(ranked));
+  recall_v.Set("recalled", IndexArray(recall.recalled));
+  recall_v.Set("proxies_computed",
+               json::Value::Int(static_cast<int64_t>(recall.proxies_computed)));
+  recall_v.Set("inference_epochs", json::Value::Number(recall.inference_epochs));
+  recall_v.Set("wall_ms", json::Value::Number(recall.wall_ms));
+  root.Set("recall", std::move(recall_v));
+
+  json::Value stages_v = json::Value::Array();
+  for (const TraceStage& stage : stages) {
+    json::Value stage_v = json::Value::Object();
+    stage_v.Set("stage", json::Value::Int(stage.stage));
+    stage_v.Set("entrants", IndexArray(stage.entrants));
+    stage_v.Set("epochs_charged", json::Value::Number(stage.epochs_charged));
+    json::Value prunes = json::Value::Array();
+    for (const TracePrune& prune : stage.prunes) {
+      json::Value p = json::Value::Object();
+      p.Set("model", json::Value::Int(static_cast<int64_t>(prune.model_index)));
+      p.Set("pruned_by", json::Value::Int(static_cast<int64_t>(prune.pruned_by)));
+      p.Set("val", json::Value::Number(prune.val));
+      p.Set("by_val", json::Value::Number(prune.by_val));
+      p.Set("predicted", json::Value::Number(prune.predicted));
+      p.Set("by_predicted", json::Value::Number(prune.by_predicted));
+      p.Set("margin", json::Value::Number(prune.margin));
+      prunes.Append(std::move(p));
+    }
+    stage_v.Set("prunes", std::move(prunes));
+    stage_v.Set("halving_drops", IndexArray(stage.halving_drops));
+    stage_v.Set("survivors", IndexArray(stage.survivors));
+    stages_v.Append(std::move(stage_v));
+  }
+  root.Set("stages", std::move(stages_v));
+  root.Set("fine_wall_ms", json::Value::Number(fine_wall_ms));
+  root.Set("selected_model",
+           json::Value::Int(static_cast<int64_t>(selected_model)));
+  root.Set("selected_accuracy", json::Value::Number(selected_accuracy));
+  root.Set("training_epochs", json::Value::Number(training_epochs));
+  root.Set("total_epochs", json::Value::Number(total_epochs));
+  return root.Dump(indent);
+}
+
+StatusOr<SelectionTrace> SelectionTrace::FromJson(const std::string& text) {
+  TPS_ASSIGN_OR_RETURN(json::Value root, json::Parse(text));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("trace JSON is not an object");
+  }
+  TPS_ASSIGN_OR_RETURN(double version, root.GetNumber("schema_version"));
+  if (version != kSchemaVersion) {
+    return Status::InvalidArgument("unsupported trace schema_version");
+  }
+  SelectionTrace trace;
+  TPS_ASSIGN_OR_RETURN(trace.target, root.GetString("target"));
+  TPS_ASSIGN_OR_RETURN(trace.domain, root.GetString("domain"));
+
+  TPS_ASSIGN_OR_RETURN(const json::Value* recall_v, root.GetObject("recall"));
+  TPS_ASSIGN_OR_RETURN(const json::Value* scored, recall_v->GetArray("scored"));
+  for (const json::Value& entry : scored->items()) {
+    if (!entry.is_object()) {
+      return Status::InvalidArgument("scored entry is not an object");
+    }
+    TraceProxyScore s;
+    TPS_ASSIGN_OR_RETURN(s.model_index, ParseIndex(entry, "model"));
+    TPS_ASSIGN_OR_RETURN(double cluster, entry.GetNumber("cluster"));
+    s.cluster = static_cast<int>(cluster);
+    TPS_ASSIGN_OR_RETURN(s.norm_score, entry.GetNumber("norm_score"));
+    trace.recall.scored.push_back(s);
+  }
+  TPS_ASSIGN_OR_RETURN(const json::Value* ranked, recall_v->GetArray("ranked"));
+  for (const json::Value& entry : ranked->items()) {
+    if (!entry.is_object()) {
+      return Status::InvalidArgument("ranked entry is not an object");
+    }
+    TraceRecallEntry e;
+    TPS_ASSIGN_OR_RETURN(e.model_index, ParseIndex(entry, "model"));
+    TPS_ASSIGN_OR_RETURN(e.recall_score, entry.GetNumber("recall_score"));
+    TPS_ASSIGN_OR_RETURN(e.prior_accuracy, entry.GetNumber("prior_accuracy"));
+    TPS_ASSIGN_OR_RETURN(e.proxy_component,
+                         entry.GetNumber("proxy_component"));
+    TPS_ASSIGN_OR_RETURN(e.via_propagation, entry.GetBool("via_propagation"));
+    trace.recall.ranked.push_back(e);
+  }
+  TPS_ASSIGN_OR_RETURN(trace.recall.recalled,
+                       ParseIndexArray(*recall_v, "recalled"));
+  TPS_ASSIGN_OR_RETURN(trace.recall.proxies_computed,
+                       ParseIndex(*recall_v, "proxies_computed"));
+  TPS_ASSIGN_OR_RETURN(trace.recall.inference_epochs,
+                       recall_v->GetNumber("inference_epochs"));
+  TPS_ASSIGN_OR_RETURN(trace.recall.wall_ms, recall_v->GetNumber("wall_ms"));
+
+  TPS_ASSIGN_OR_RETURN(const json::Value* stages_v, root.GetArray("stages"));
+  for (const json::Value& stage_v : stages_v->items()) {
+    if (!stage_v.is_object()) {
+      return Status::InvalidArgument("stage entry is not an object");
+    }
+    TraceStage stage;
+    TPS_ASSIGN_OR_RETURN(double stage_num, stage_v.GetNumber("stage"));
+    stage.stage = static_cast<int>(stage_num);
+    TPS_ASSIGN_OR_RETURN(stage.entrants, ParseIndexArray(stage_v, "entrants"));
+    TPS_ASSIGN_OR_RETURN(stage.epochs_charged,
+                         stage_v.GetNumber("epochs_charged"));
+    TPS_ASSIGN_OR_RETURN(const json::Value* prunes,
+                         stage_v.GetArray("prunes"));
+    for (const json::Value& prune_v : prunes->items()) {
+      if (!prune_v.is_object()) {
+        return Status::InvalidArgument("prune entry is not an object");
+      }
+      TracePrune prune;
+      TPS_ASSIGN_OR_RETURN(prune.model_index, ParseIndex(prune_v, "model"));
+      TPS_ASSIGN_OR_RETURN(prune.pruned_by, ParseIndex(prune_v, "pruned_by"));
+      TPS_ASSIGN_OR_RETURN(prune.val, prune_v.GetNumber("val"));
+      TPS_ASSIGN_OR_RETURN(prune.by_val, prune_v.GetNumber("by_val"));
+      TPS_ASSIGN_OR_RETURN(prune.predicted, prune_v.GetNumber("predicted"));
+      TPS_ASSIGN_OR_RETURN(prune.by_predicted,
+                           prune_v.GetNumber("by_predicted"));
+      TPS_ASSIGN_OR_RETURN(prune.margin, prune_v.GetNumber("margin"));
+      stage.prunes.push_back(prune);
+    }
+    TPS_ASSIGN_OR_RETURN(stage.halving_drops,
+                         ParseIndexArray(stage_v, "halving_drops"));
+    TPS_ASSIGN_OR_RETURN(stage.survivors,
+                         ParseIndexArray(stage_v, "survivors"));
+    trace.stages.push_back(std::move(stage));
+  }
+  TPS_ASSIGN_OR_RETURN(trace.fine_wall_ms, root.GetNumber("fine_wall_ms"));
+  TPS_ASSIGN_OR_RETURN(trace.selected_model,
+                       ParseIndex(root, "selected_model"));
+  TPS_ASSIGN_OR_RETURN(trace.selected_accuracy,
+                       root.GetNumber("selected_accuracy"));
+  TPS_ASSIGN_OR_RETURN(trace.training_epochs,
+                       root.GetNumber("training_epochs"));
+  TPS_ASSIGN_OR_RETURN(trace.total_epochs, root.GetNumber("total_epochs"));
+  return trace;
+}
+
+}  // namespace tps

@@ -1,0 +1,127 @@
+#ifndef TPS_CORE_SELECTION_TRACE_H_
+#define TPS_CORE_SELECTION_TRACE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace tps {
+
+/// Structured record of one two-phase selection run, end to end: what
+/// phase 1 scored and recalled, what every fine-selection rung did to whom
+/// and why, and where the epoch budget went. Filled in by CoarseRecall /
+/// FineSelectionSelector / TwoPhaseSelector when a trace pointer is passed
+/// (see TwoPhaseOptions::trace); collection is pure observation and never
+/// changes the selection result (proved by
+/// tests/core/metrics_inertness_test.cc).
+///
+/// Serializes to JSON (`tps_cli trace`) and parses back losslessly —
+/// doubles round-trip bit-exactly — so traces can be archived next to
+/// BENCH_*.json telemetry and diffed across commits. Schema documented in
+/// DESIGN.md "Observability"; bump kSchemaVersion on breaking changes.
+
+/// One proxy-scored cluster representative in phase 1.
+struct TraceProxyScore {
+  size_t model_index = 0;
+  /// Cluster the representative speaks for.
+  int cluster = 0;
+  /// Normalized (multi-proxy averaged) score, the Eq. 2 proxy component.
+  double norm_score = 0.0;
+
+  bool operator==(const TraceProxyScore&) const = default;
+};
+
+/// One entry of the full recall ranking (mirrors RecallEntry).
+struct TraceRecallEntry {
+  size_t model_index = 0;
+  double recall_score = 0.0;
+  double prior_accuracy = 0.0;
+  double proxy_component = 0.0;
+  bool via_propagation = false;
+
+  bool operator==(const TraceRecallEntry&) const = default;
+};
+
+/// Phase 1: coarse recall.
+struct TraceRecallPhase {
+  /// Representatives actually run through the proxy scorer(s), with the
+  /// per-cluster scores every member inherits (Eq. 3).
+  std::vector<TraceProxyScore> scored;
+  /// Full ranking, descending recall score.
+  std::vector<TraceRecallEntry> ranked;
+  /// Zoo indices handed to phase 2 (the top-k cut).
+  std::vector<size_t> recalled;
+  size_t proxies_computed = 0;
+  /// 0.5 epoch-equivalents per computed proxy.
+  double inference_epochs = 0.0;
+  double wall_ms = 0.0;
+
+  bool operator==(const TraceRecallPhase&) const = default;
+};
+
+/// One trend-based prune in a fine-selection stage: `model_index` was
+/// dropped because `pruned_by` had better validation AND a predicted-final
+/// lead larger than the threshold margin.
+struct TracePrune {
+  size_t model_index = 0;
+  size_t pruned_by = 0;
+  /// Current validation accuracies at this stage.
+  double val = 0.0;
+  double by_val = 0.0;
+  /// Predicted finals (Eqs. 5-6).
+  double predicted = 0.0;
+  double by_predicted = 0.0;
+  /// How far past the bar the prune was:
+  /// by_predicted - predicted - threshold * predicted (> 0 by definition).
+  double margin = 0.0;
+
+  bool operator==(const TracePrune&) const = default;
+};
+
+/// One fine-selection rung (stage = training epoch).
+struct TraceStage {
+  int stage = 0;
+  /// Zoo indices entering the stage (each trains one epoch here).
+  std::vector<size_t> entrants;
+  double epochs_charged = 0.0;
+  /// Trend-based prunes, in the order the fine-filter removed them.
+  std::vector<TracePrune> prunes;
+  /// Zoo indices cut by the halving backstop (fine-filter kept too many).
+  std::vector<size_t> halving_drops;
+  /// Zoo indices surviving into the next stage.
+  std::vector<size_t> survivors;
+
+  bool operator==(const TraceStage&) const = default;
+};
+
+struct SelectionTrace {
+  static constexpr int kSchemaVersion = 1;
+
+  std::string target;
+  std::string domain;  // "NLP" / "CV" / "" when unknown.
+  TraceRecallPhase recall;
+  std::vector<TraceStage> stages;
+  double fine_wall_ms = 0.0;
+  size_t selected_model = 0;
+  double selected_accuracy = 0.0;
+  /// Per-phase epoch ledger (training is all phase 2; inference all
+  /// phase 1).
+  double training_epochs = 0.0;
+  double total_epochs = 0.0;
+
+  bool operator==(const SelectionTrace&) const = default;
+
+  /// Deterministic JSON (indent < 0 -> compact). Two equal traces dump to
+  /// identical bytes.
+  std::string ToJson(int indent = 2) const;
+
+  /// Parses a trace previously produced by ToJson. Malformed or truncated
+  /// input is an InvalidArgument error, never a crash.
+  static StatusOr<SelectionTrace> FromJson(const std::string& text);
+};
+
+}  // namespace tps
+
+#endif  // TPS_CORE_SELECTION_TRACE_H_

@@ -42,12 +42,21 @@ StatusOr<TwoPhaseReport> TwoPhaseSelector::Select(
     const Dataset& target, const TwoPhaseOptions& options,
     const Hyperparams& hp, ThreadPool* pool) const {
   TwoPhaseReport report;
+  MetricsRegistry* metrics = options.metrics != nullptr
+                                 ? options.metrics
+                                 : MetricsRegistry::Default();
+  SelectionTrace* trace = options.trace;
+  if (trace != nullptr) {
+    *trace = SelectionTrace();
+    trace->target = target.name();
+    trace->domain = ToString(target.spec().domain);
+  }
 
   // Phase 1: coarse recall (charges 0.5 epoch-equivalents per proxy).
   CoarseRecall recall(zoo_, matrix_, clustering_);
-  TPS_ASSIGN_OR_RETURN(
-      report.recall,
-      recall.Recall(target, options.recall, &report.budget, pool));
+  TPS_ASSIGN_OR_RETURN(report.recall,
+                       recall.Recall(target, options.recall, &report.budget,
+                                     pool, metrics, trace));
   const std::vector<size_t> candidates =
       report.recall.TopModels(options.recall.top_k_models);
   if (candidates.empty()) {
@@ -59,9 +68,11 @@ StatusOr<TwoPhaseReport> TwoPhaseSelector::Select(
   ConvergenceTrendMiner miner(matrix_, options.trends);
   FineSelectionSelector fine(zoo_, simulator_, &miner,
                              options.fine_selection);
-  TPS_ASSIGN_OR_RETURN(
-      report.selection,
-      fine.Select(candidates, target, hp, &report.budget, pool));
+  TPS_ASSIGN_OR_RETURN(report.selection,
+                       fine.Select(candidates, target, hp, &report.budget,
+                                   pool, metrics, trace));
+  metrics->counter("two_phase.runs").Increment();
+  if (trace != nullptr) trace->total_epochs = report.budget.total_epochs();
   return report;
 }
 

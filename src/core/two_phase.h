@@ -7,11 +7,13 @@
 #include "core/model_clusterer.h"
 #include "core/performance_matrix.h"
 #include "core/selection.h"
+#include "core/selection_trace.h"
 #include "data/dataset.h"
 #include "model/zoo.h"
 #include "sim/epoch_budget.h"
 #include "sim/finetune_simulator.h"
 #include "sim/hyperparams.h"
+#include "util/metrics.h"
 #include "util/statusor.h"
 
 namespace tps {
@@ -25,6 +27,18 @@ struct TwoPhaseOptions {
   /// steps over one shared ThreadPool. Output is bit-identical for every
   /// value (see "Threading model" in DESIGN.md). Values < 1 are an error.
   int num_threads = 1;
+  /// Observability sinks ("Observability" in DESIGN.md). Neither affects
+  /// the selection result in any way — tests/core/metrics_inertness_test.cc
+  /// proves the report is bit-identical with them on, off, or disabled.
+  ///
+  /// Metrics sink for both phases. nullptr (the default) reports to
+  /// MetricsRegistry::Default(); pass a registry constructed with
+  /// enabled=false to make every recording a no-op.
+  MetricsRegistry* metrics = nullptr;
+  /// When non-null, one full SelectionTrace (recall scores, recalled set,
+  /// per-rung survivors and prunes, epoch totals) is recorded into it per
+  /// Select call. The trace is cleared first, so it can be reused.
+  SelectionTrace* trace = nullptr;
 };
 
 /// End-to-end report: who was recalled, who won, and what it cost.

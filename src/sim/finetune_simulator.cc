@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "data/latent.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -84,6 +85,10 @@ StatusOr<TrainingRun> FineTuneSimulator::Run(const PretrainedModel& model,
     run.val_accuracy.push_back(val);
     run.test_accuracy.push_back(test);
   }
+  MetricsRegistry& metrics = *MetricsRegistry::Default();
+  metrics.counter("sim.runs").Increment();
+  metrics.counter("sim.epochs_simulated")
+      .Increment(static_cast<uint64_t>(hp.epochs));
   return run;
 }
 

@@ -1,5 +1,7 @@
 #include "store/kv_store.h"
 
+#include "util/metrics.h"
+
 namespace tps {
 
 namespace {
@@ -99,6 +101,15 @@ StatusOr<KvStore> KvStore::Open(const std::string& path, Env* env) {
   TPS_ASSIGN_OR_RETURN(RecordLogWriter writer,
                        RecordLogWriter::Open(path, env));
   store.log_ = std::make_unique<RecordLogWriter>(std::move(writer));
+  MetricsRegistry& metrics = *MetricsRegistry::Default();
+  metrics.counter("store.opens").Increment();
+  metrics.counter("store.records_replayed")
+      .Increment(store.recovery_stats_.records_replayed);
+  if (store.recovery_stats_.tail_was_torn) {
+    metrics.counter("store.torn_tails_recovered").Increment();
+    metrics.counter("store.bytes_truncated")
+        .Increment(store.recovery_stats_.bytes_truncated);
+  }
   return store;
 }
 
@@ -181,6 +192,7 @@ Status KvStore::Compact() {
                        RecordLogWriter::Open(path_, env_));
   log_ = std::make_unique<RecordLogWriter>(std::move(reopened));
   log_records_ = table_.size();
+  MetricsRegistry::Default()->counter("store.compactions").Increment();
   return Status::OK();
 }
 

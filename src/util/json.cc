@@ -1,0 +1,567 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace tps {
+namespace json {
+
+Value Value::Bool(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::Number(double d) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+Value Value::Int(int64_t i) { return Number(static_cast<double>(i)); }
+
+Value Value::String(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::Array() {
+  Value v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+Value Value::Object() {
+  Value v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+bool Value::bool_value() const {
+  TPS_CHECK(type_ == Type::kBool);
+  return bool_;
+}
+
+double Value::number() const {
+  TPS_CHECK(type_ == Type::kNumber);
+  return number_;
+}
+
+const std::string& Value::string() const {
+  TPS_CHECK(type_ == Type::kString);
+  return string_;
+}
+
+const std::vector<Value>& Value::items() const {
+  TPS_CHECK(type_ == Type::kArray);
+  return array_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::entries() const {
+  TPS_CHECK(type_ == Type::kObject);
+  return object_;
+}
+
+void Value::Append(Value v) {
+  TPS_CHECK(type_ == Type::kArray);
+  array_.push_back(std::move(v));
+}
+
+void Value::Set(const std::string& key, Value v) {
+  TPS_CHECK(type_ == Type::kObject);
+  for (auto& entry : object_) {
+    if (entry.first == key) {
+      entry.second = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+}
+
+const Value* Value::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& entry : object_) {
+    if (entry.first == key) return &entry.second;
+  }
+  return nullptr;
+}
+
+size_t Value::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  return 0;
+}
+
+StatusOr<bool> Value::GetBool(const std::string& key) const {
+  const Value* v = Find(key);
+  if (v == nullptr || !v->is_bool()) {
+    return Status::InvalidArgument("missing or non-bool member: " + key);
+  }
+  return v->bool_value();
+}
+
+StatusOr<double> Value::GetNumber(const std::string& key) const {
+  const Value* v = Find(key);
+  if (v == nullptr || !v->is_number()) {
+    return Status::InvalidArgument("missing or non-number member: " + key);
+  }
+  return v->number();
+}
+
+StatusOr<std::string> Value::GetString(const std::string& key) const {
+  const Value* v = Find(key);
+  if (v == nullptr || !v->is_string()) {
+    return Status::InvalidArgument("missing or non-string member: " + key);
+  }
+  return v->string();
+}
+
+StatusOr<const Value*> Value::GetArray(const std::string& key) const {
+  const Value* v = Find(key);
+  if (v == nullptr || !v->is_array()) {
+    return Status::InvalidArgument("missing or non-array member: " + key);
+  }
+  return v;
+}
+
+StatusOr<const Value*> Value::GetObject(const std::string& key) const {
+  const Value* v = Find(key);
+  if (v == nullptr || !v->is_object()) {
+    return Status::InvalidArgument("missing or non-object member: " + key);
+  }
+  return v;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      return number_ == other.number_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kArray:
+      return array_ == other.array_;
+    case Type::kObject:
+      return object_ == other.object_;
+  }
+  return false;
+}
+
+std::string EscapeString(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    const unsigned char byte = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (byte < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+void AppendNumber(std::string* out, double d) {
+  if (!std::isfinite(d)) {  // inf/NaN have no JSON spelling.
+    *out += "null";
+    return;
+  }
+  // Integral doubles in the exact range print as integers — this keeps
+  // counters and indices readable and byte-stable.
+  constexpr double kExactIntBound = 9007199254740992.0;  // 2^53
+  if (d == std::floor(d) && std::fabs(d) < kExactIntBound) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(d));
+    *out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  *out += buf;
+}
+
+void AppendIndent(std::string* out, int indent, int depth) {
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ');
+}
+
+}  // namespace
+
+void Value::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      AppendNumber(out, number_);
+      return;
+    case Type::kString:
+      *out += EscapeString(string_);
+      return;
+    case Type::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        if (indent >= 0) AppendIndent(out, indent, depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (indent >= 0) AppendIndent(out, indent, depth);
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        if (indent >= 0) AppendIndent(out, indent, depth + 1);
+        *out += EscapeString(object_[i].first);
+        *out += indent >= 0 ? ": " : ":";
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (indent >= 0) AppendIndent(out, indent, depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Value::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a bounded cursor. Every path returns a
+/// Status instead of crashing; depth is capped so hostile nesting cannot
+/// blow the stack.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<Value> ParseDocument() {
+    SkipWhitespace();
+    TPS_ASSIGN_OR_RETURN(Value v, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing bytes after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  Status Expect(char c) {
+    if (AtEnd() || Peek() != c) {
+      return Status::InvalidArgument(
+          std::string("expected '") + c + "' at offset " +
+          std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    size_t len = 0;
+    while (literal[len] != '\0') ++len;
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  StatusOr<Value> ParseValue(int depth) {
+    // depth is the nesting level of the value being parsed (document
+    // root = 0), so rejecting at == kMaxParseDepth admits documents up to
+    // exactly kMaxParseDepth levels deep.
+    if (depth >= kMaxParseDepth) {
+      return Status::InvalidArgument("JSON nesting too deep");
+    }
+    SkipWhitespace();
+    if (AtEnd()) return Status::InvalidArgument("unexpected end of JSON");
+    switch (Peek()) {
+      case 'n':
+        if (ConsumeLiteral("null")) return Value::Null();
+        return Status::InvalidArgument("bad literal");
+      case 't':
+        if (ConsumeLiteral("true")) return Value::Bool(true);
+        return Status::InvalidArgument("bad literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return Value::Bool(false);
+        return Status::InvalidArgument("bad literal");
+      case '"': {
+        TPS_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Value::String(std::move(s));
+      }
+      case '[':
+        return ParseArray(depth);
+      case '{':
+        return ParseObject(depth);
+      default:
+        return ParseNumber();
+    }
+  }
+
+  StatusOr<Value> ParseArray(int depth) {
+    TPS_RETURN_NOT_OK(Expect('['));
+    Value array = Value::Array();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    for (;;) {
+      TPS_ASSIGN_OR_RETURN(Value element, ParseValue(depth + 1));
+      array.Append(std::move(element));
+      SkipWhitespace();
+      if (AtEnd()) return Status::InvalidArgument("unterminated array");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return array;
+      }
+      return Status::InvalidArgument("expected ',' or ']' in array");
+    }
+  }
+
+  StatusOr<Value> ParseObject(int depth) {
+    TPS_RETURN_NOT_OK(Expect('{'));
+    Value object = Value::Object();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') {
+        return Status::InvalidArgument("expected object key string");
+      }
+      TPS_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      TPS_RETURN_NOT_OK(Expect(':'));
+      TPS_ASSIGN_OR_RETURN(Value value, ParseValue(depth + 1));
+      object.Set(key, std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return Status::InvalidArgument("unterminated object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return object;
+      }
+      return Status::InvalidArgument("expected ',' or '}' in object");
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    TPS_RETURN_NOT_OK(Expect('"'));
+    std::string out;
+    for (;;) {
+      if (AtEnd()) return Status::InvalidArgument("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (AtEnd()) return Status::InvalidArgument("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Status::InvalidArgument("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Status::InvalidArgument("bad \\u escape digit");
+            }
+          }
+          // UTF-8 encode. Lone surrogates are encoded as-is (WTF-8 style)
+          // rather than rejected — the parser's job here is to never
+          // crash, not to police Unicode.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Status::InvalidArgument("unknown escape sequence");
+      }
+    }
+  }
+
+  bool ConsumeDigits() {
+    bool any = false;
+    while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+      any = true;
+      ++pos_;
+    }
+    return any;
+  }
+
+  /// Strict JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?
+  /// [0-9]+)?. Leading '+', leading zeros ("01"), bare trailing dots
+  /// ("1.") and dotless exponents ("1e") are all rejected — the codecs in
+  /// this repo only ever parse numbers their own Dump produced, and Dump
+  /// never emits those forms.
+  StatusOr<Value> ParseNumber() {
+    const size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    if (AtEnd() || Peek() < '0' || Peek() > '9') {
+      return Status::InvalidArgument("malformed number at offset " +
+                                     std::to_string(start));
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else if (!ConsumeDigits()) {
+      return Status::InvalidArgument("malformed number at offset " +
+                                     std::to_string(start));
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (!ConsumeDigits()) {
+        return Status::InvalidArgument("malformed number: missing digits "
+                                       "after decimal point");
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (!ConsumeDigits()) {
+        return Status::InvalidArgument("malformed number: missing exponent "
+                                       "digits");
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Status::InvalidArgument("malformed number: " + token);
+    }
+    if (!std::isfinite(value)) {
+      return Status::InvalidArgument("number overflows double: " + token);
+    }
+    return Value::Number(value);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Value> Parse(const std::string& text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace json
+}  // namespace tps

@@ -1,0 +1,113 @@
+#ifndef TPS_UTIL_JSON_H_
+#define TPS_UTIL_JSON_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace tps {
+namespace json {
+
+/// Minimal JSON document model for the observability layer (metrics dumps,
+/// selection traces, bench telemetry). Deliberately small: one tagged value
+/// type, a deterministic writer, and a hardened recursive-descent parser.
+///
+/// Determinism contract: `Dump()` is a pure function of the value — object
+/// keys keep insertion order, doubles are printed with %.17g (lossless
+/// round-trip), and integral doubles in the exact int64 range print without
+/// an exponent or fraction. Two equal values always dump to identical
+/// bytes, so JSON artifacts can be compared byte-for-byte in golden tests.
+///
+/// Safety contract: `Parse()` never crashes or throws on malformed input —
+/// truncated documents, bad escapes, deep nesting (bounded by
+/// `kMaxParseDepth`) and trailing garbage all return InvalidArgument.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Defaults to null.
+  Value() = default;
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Number(double d);
+  static Value Int(int64_t i);
+  static Value String(std::string s);
+  static Value Array();
+  static Value Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; calling the wrong one on a value is a programming
+  /// error (checked). Use the As* helpers for fallible extraction when
+  /// consuming parsed input.
+  bool bool_value() const;
+  double number() const;
+  const std::string& string() const;
+
+  /// Array elements / object entries (object keys keep insertion order).
+  const std::vector<Value>& items() const;
+  const std::vector<std::pair<std::string, Value>>& entries() const;
+
+  /// Appends to an array value.
+  void Append(Value v);
+  /// Sets (or overwrites) an object key.
+  void Set(const std::string& key, Value v);
+
+  /// Object lookup; null when absent or this is not an object.
+  const Value* Find(const std::string& key) const;
+  size_t size() const;
+
+  /// Fallible extraction for parsed documents: object member `key` of the
+  /// required type, as a Status error (never a crash) on mismatch.
+  StatusOr<bool> GetBool(const std::string& key) const;
+  StatusOr<double> GetNumber(const std::string& key) const;
+  StatusOr<std::string> GetString(const std::string& key) const;
+  StatusOr<const Value*> GetArray(const std::string& key) const;
+  StatusOr<const Value*> GetObject(const std::string& key) const;
+
+  /// Serializes. indent < 0 -> compact one-line form; indent >= 0 ->
+  /// pretty-printed with that many spaces per level. Non-finite numbers
+  /// (inf/NaN have no JSON spelling) are emitted as null.
+  std::string Dump(int indent = -1) const;
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// Nesting bound for Parse — deeper documents are rejected, not recursed
+/// into, so adversarial inputs cannot overflow the stack.
+inline constexpr int kMaxParseDepth = 96;
+
+/// Parses one JSON document (with optional surrounding whitespace).
+/// Trailing non-whitespace bytes are an error.
+StatusOr<Value> Parse(const std::string& text);
+
+/// Escapes `s` into a double-quoted JSON string literal. Bytes >= 0x20 are
+/// passed through verbatim (arbitrary byte strings round-trip regardless of
+/// UTF-8 validity); control bytes use the standard short escapes or \u00XX.
+std::string EscapeString(const std::string& s);
+
+}  // namespace json
+}  // namespace tps
+
+#endif  // TPS_UTIL_JSON_H_

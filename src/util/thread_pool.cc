@@ -2,11 +2,37 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <utility>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace tps {
+
+namespace {
+
+/// Pool-wide instruments, shared by every ThreadPool instance (the process
+/// is expected to run one pool; per-instance split would only blur the
+/// dump). Pointers are cached once — registry lookups never sit on the
+/// task hot path.
+struct PoolInstruments {
+  Counter& submitted;
+  Counter& completed;
+  Histogram& latency_us;
+  Gauge& queue_depth;
+};
+
+PoolInstruments& Instruments() {
+  static PoolInstruments* const instruments = new PoolInstruments{
+      MetricsRegistry::Default()->counter("threadpool.tasks_submitted"),
+      MetricsRegistry::Default()->counter("threadpool.tasks_completed"),
+      MetricsRegistry::Default()->histogram("threadpool.task_latency_us"),
+      MetricsRegistry::Default()->gauge("threadpool.queue_depth")};
+  return *instruments;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
@@ -35,13 +61,18 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // Shutting down and drained.
       task = std::move(queue_.front());
       queue_.pop_front();
+      Instruments().queue_depth.Set(static_cast<double>(queue_.size()));
     }
     std::exception_ptr error;
-    try {
-      task();
-    } catch (...) {
-      error = std::current_exception();
+    {
+      ScopedLatencyTimer timer(&Instruments().latency_us);
+      try {
+        task();
+      } catch (...) {
+        error = std::current_exception();
+      }
     }
+    Instruments().completed.Increment();
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (error != nullptr && first_error_ == nullptr) {
@@ -60,7 +91,10 @@ void ThreadPool::Submit(std::function<void()> task) {
     TPS_CHECK(!shutting_down_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    Instruments().queue_depth.Set(static_cast<double>(queue_.size()));
+    Instruments().queue_depth.SetMax(static_cast<double>(queue_.size()));
   }
+  Instruments().submitted.Increment();
   task_ready_.notify_one();
 }
 
@@ -76,36 +110,47 @@ void ThreadPool::Wait() {
 
 namespace {
 
-/// Per-call state of one ParallelFor: a shared claim counter plus the
-/// deterministically smallest failing index. Heap-free aside from the
-/// exception slot; lives on the calling thread's stack for the duration of
-/// the call.
+/// Per-call state of one ParallelFor: a shared claim counter, a completion
+/// counter the caller waits on, and the deterministically smallest failing
+/// index. Held by shared_ptr so helper tasks that the scheduler runs
+/// *after* the call returns (their range already exhausted) still touch
+/// live memory — that is what makes nested ParallelFor deadlock-free: the
+/// caller never waits for helper tasks to be scheduled, only for all n
+/// indices to finish, and it can finish all n itself.
 struct ParallelForState {
-  explicit ParallelForState(size_t n_in) : n(n_in) {}
+  ParallelForState(size_t n_in, std::function<void(size_t)> fn_in)
+      : n(n_in), fn(std::move(fn_in)) {}
 
   const size_t n;
+  const std::function<void(size_t)> fn;
   std::atomic<size_t> next{0};
 
   std::mutex mu;
+  std::condition_variable all_indices_done;
+  size_t completed = 0;
   size_t error_index = 0;
   std::exception_ptr error;
 
   /// Claims indices until the range is exhausted. Every index runs even
   /// after a failure elsewhere, so the recorded error is always the one
   /// from the smallest failing index regardless of scheduling.
-  void Drain(const std::function<void(size_t)>& fn) {
+  void Drain() {
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
+      std::exception_ptr thrown;
       try {
         fn(i);
       } catch (...) {
-        std::unique_lock<std::mutex> lock(mu);
-        if (error == nullptr || i < error_index) {
-          error = std::current_exception();
-          error_index = i;
-        }
+        thrown = std::current_exception();
       }
+      std::unique_lock<std::mutex> lock(mu);
+      if (thrown != nullptr && (error == nullptr || i < error_index)) {
+        error = thrown;
+        error_index = i;
+      }
+      ++completed;
+      if (completed == n) all_indices_done.notify_all();
     }
   }
 };
@@ -114,18 +159,22 @@ struct ParallelForState {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  ParallelForState state(n);
+  auto state = std::make_shared<ParallelForState>(n, fn);
   // One helper task per worker, capped by the range; the calling thread
-  // participates too, so a 1-thread pool degenerates to a serial loop with
-  // (at most) one helper.
+  // participates too, so a 1-thread pool (or a fully busy one) degenerates
+  // to a serial loop on the caller.
   const size_t helpers =
       std::min(static_cast<size_t>(num_threads()), n);
   for (size_t h = 0; h < helpers; ++h) {
-    Submit([&state, &fn] { state.Drain(fn); });
+    Submit([state] { state->Drain(); });
   }
-  state.Drain(fn);
-  Wait();
-  if (state.error != nullptr) std::rethrow_exception(state.error);
+  state->Drain();
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->all_indices_done.wait(
+        lock, [&state] { return state->completed == state->n; });
+  }
+  if (state->error != nullptr) std::rethrow_exception(state->error);
 }
 
 int ThreadPool::DefaultThreads() {

@@ -24,6 +24,12 @@ namespace tps {
 /// reducing the slots in index order on the submitting thread. Because all
 /// per-index computations in this codebase are pure functions of their
 /// index, parallel output is bit-identical to serial output.
+///
+/// Observability: the pool reports `threadpool.tasks_submitted` /
+/// `threadpool.tasks_completed` counters, a `threadpool.task_latency_us`
+/// histogram and a `threadpool.queue_depth` gauge (current + peak) to
+/// MetricsRegistry::Default(). Recording is relaxed-atomic and never
+/// affects scheduling or results.
 class ThreadPool {
  public:
   /// Spawns max(1, num_threads) workers.
@@ -37,14 +43,15 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues one task. Tasks must not call Submit/Wait/ParallelFor on the
-  /// same pool (the pool is a leaf resource; nesting could deadlock a
-  /// fully busy pool). An exception escaping a task is captured; the first
-  /// one captured is rethrown by the next Wait().
+  /// Enqueues one task. Tasks may call Submit and ParallelFor on the same
+  /// pool, but not Wait (a task waiting for itself to finish would
+  /// deadlock). An exception escaping a task is captured; the first one
+  /// captured is rethrown by the next Wait().
   void Submit(std::function<void()> task);
 
   /// Blocks until every task submitted so far has finished, then rethrows
-  /// the first captured task exception (if any) and clears it.
+  /// the first captured task exception (if any) and clears it. Must not be
+  /// called from inside a pool task.
   void Wait();
 
   /// Runs fn(i) for every i in [0, n) across the pool *and* the calling
@@ -55,7 +62,15 @@ class ThreadPool {
   ///
   /// fn must be safe to call concurrently for distinct indices and should
   /// write its result to a caller-owned slot at index i. n == 0 is a
-  /// no-op. Must not be called from inside a pool task.
+  /// no-op.
+  ///
+  /// Safe to call from inside a pool task (nested fan-out): the calling
+  /// task drains the whole index range itself if every worker is busy, and
+  /// it only waits on *index completion* — never on its helper tasks being
+  /// scheduled — so a fully occupied pool makes nested calls degrade to a
+  /// serial loop instead of deadlocking. Helper tasks that run after the
+  /// range is exhausted are no-ops (they share ownership of the call
+  /// state, so late execution is safe).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// Hardware concurrency with a floor of 1 (hardware_concurrency() may

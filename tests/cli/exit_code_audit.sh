@@ -1,0 +1,164 @@
+#!/usr/bin/env bash
+# Exit-code audit for tps_cli: every error path must return non-zero with
+# diagnostics on stderr (usage exits 2, flag/data errors exit 1), every
+# success path must return 0, and usage/error text must never pollute
+# stdout. Registered as the `cli_exit_code_audit` ctest (labels: cli,
+# metrics).
+#
+#   usage: exit_code_audit.sh <path-to-tps_cli> <scratch-dir>
+
+set -u
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 <path-to-tps_cli> <scratch-dir>" >&2
+  exit 2
+fi
+
+CLI=$1
+SCRATCH=$2
+mkdir -p "$SCRATCH"
+STDOUT=$SCRATCH/stdout.txt
+STDERR=$SCRATCH/stderr.txt
+FAILURES=0
+
+# expect <expected-code> <description> -- <cli-args...>
+# Runs the CLI, checks the exit code, and leaves stdout/stderr in
+# $STDOUT/$STDERR for the follow-up checks below.
+expect() {
+  local want=$1 what=$2
+  shift 3  # drop want, what, "--"
+  "$CLI" "$@" >"$STDOUT" 2>"$STDERR"
+  local got=$?
+  if [[ $got -ne $want ]]; then
+    echo "FAIL: $what: expected exit $want, got $got (args: $*)" >&2
+    sed 's/^/  stderr: /' "$STDERR" >&2
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok: $what (exit $got)"
+  fi
+}
+
+require_stderr_contains() {
+  local needle=$1 what=$2
+  if ! grep -q "$needle" "$STDERR"; then
+    echo "FAIL: $what: stderr does not contain '$needle'" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+}
+
+require_stdout_empty() {
+  local what=$1
+  if [[ -s $STDOUT ]]; then
+    echo "FAIL: $what: expected empty stdout, got:" >&2
+    sed 's/^/  stdout: /' "$STDOUT" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+}
+
+### Usage errors: exit 2, usage on stderr, NOTHING on stdout.
+
+expect 2 "no arguments" --
+require_stderr_contains "usage: tps_cli" "no arguments"
+require_stdout_empty "no arguments"
+
+expect 2 "unknown command" -- frobnicate
+require_stderr_contains "usage: tps_cli" "unknown command"
+require_stdout_empty "unknown command"
+
+### Flag and data errors: exit 1, "error:" on stderr, nothing on stdout.
+
+expect 1 "bad domain" -- recall --domain=fortran
+require_stderr_contains "error:" "bad domain"
+require_stdout_empty "bad domain"
+
+expect 1 "select without artifacts" -- select --domain=nlp --target=mnli
+require_stderr_contains "error:" "select without artifacts"
+
+expect 1 "non-integer threads" -- offline --threads=many
+require_stderr_contains "error:" "non-integer threads"
+
+expect 1 "threads below one" -- offline --threads=0
+require_stderr_contains "error:" "threads below one"
+
+expect 1 "card without model" -- card
+require_stderr_contains "error:" "card without model"
+
+expect 1 "card with unknown model" -- card --model=no-such-model
+require_stderr_contains "error:" "card with unknown model"
+
+expect 1 "store-info without store" -- store-info
+require_stderr_contains "error:" "store-info without store"
+
+expect 1 "store-compact without store" -- store-compact
+require_stderr_contains "error:" "store-compact without store"
+
+expect 1 "store in missing directory" -- \
+  store-info --store="$SCRATCH/no/such/dir/store.log"
+require_stderr_contains "error:" "store in missing directory"
+
+expect 1 "baselines with unknown target" -- \
+  baselines --domain=nlp --target=no-such-dataset
+require_stderr_contains "error:" "baselines with unknown target"
+
+### Success paths: exit 0. Build the offline artifacts once, then exercise
+### the commands that need them.
+
+expect 0 "offline build" -- offline --domain=nlp \
+  --matrix="$SCRATCH/m.txt" --clustering="$SCRATCH/c.txt"
+
+ARTIFACTS=(--domain=nlp --matrix="$SCRATCH/m.txt"
+  --clustering="$SCRATCH/c.txt" --target=mnli)
+
+expect 0 "recall success" -- recall "${ARTIFACTS[@]}" --k=5
+expect 0 "select success" -- select "${ARTIFACTS[@]}"
+expect 0 "trace success" -- trace "${ARTIFACTS[@]}"
+expect 0 "datasets success" -- datasets --domain=cv
+expect 0 "models success" -- models --domain=nlp
+
+expect 1 "select with unknown target" -- select --domain=nlp \
+  --matrix="$SCRATCH/m.txt" --clustering="$SCRATCH/c.txt" \
+  --target=no-such-dataset
+require_stderr_contains "error:" "select with unknown target"
+
+### --trace on select needs a path; bare --trace must fail loudly instead
+### of mixing trace JSON into the human-readable report.
+
+expect 1 "select with valueless --trace" -- select "${ARTIFACTS[@]}" --trace
+require_stderr_contains "error:" "select with valueless --trace"
+
+expect 0 "select with trace file" -- select "${ARTIFACTS[@]}" \
+  --trace="$SCRATCH/trace.json"
+if [[ ! -s $SCRATCH/trace.json ]]; then
+  echo "FAIL: select --trace=PATH did not write the trace file" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+
+### --metrics: dumps after success (exit 0), never masks a failure's code,
+### and an unwritable dump path fails a successful command.
+
+expect 0 "metrics dump to file" -- datasets --domain=nlp \
+  --metrics="$SCRATCH/metrics.json"
+if [[ ! -s $SCRATCH/metrics.json ]]; then
+  echo "FAIL: --metrics=PATH did not write the metrics file" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+
+expect 0 "metrics dump to stdout" -- models --domain=cv --metrics
+if ! grep -q '"counters"' "$STDOUT"; then
+  echo "FAIL: --metrics did not print a metrics JSON object to stdout" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+
+expect 1 "failed command keeps its exit code with --metrics" -- \
+  card --metrics="$SCRATCH/metrics_after_failure.json"
+require_stderr_contains "error:" "failed command with --metrics"
+
+expect 1 "unwritable metrics path fails a successful command" -- \
+  datasets --domain=nlp --metrics="$SCRATCH/no/such/dir/metrics.json"
+require_stderr_contains "error:" "unwritable metrics path"
+
+if [[ $FAILURES -ne 0 ]]; then
+  echo "$FAILURES exit-code audit check(s) failed" >&2
+  exit 1
+fi
+echo "all exit-code audit checks passed"

@@ -26,6 +26,7 @@
 #include "model/paper_zoo.h"
 #include "model/zoo.h"
 #include "sim/finetune_simulator.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -308,6 +309,40 @@ TEST_P(ParallelEquivalenceTest, FineSelectionLedgerMatchesSerialExactly) {
     EXPECT_EQ(parallel_budget.inference_epochs(),
               serial_budget.inference_epochs());
     EXPECT_EQ(parallel_budget.total_epochs(), serial_budget.total_epochs());
+  }
+}
+
+TEST_P(ParallelEquivalenceTest, MetricsAndTraceOnStaysBitIdentical) {
+  // Observability cross-check (see tests/core/metrics_inertness_test.cc for
+  // the full suite): the determinism contract holds with a live metrics
+  // registry and trace collection enabled on the parallel runs while the
+  // serial reference runs uninstrumented.
+  const RandomConfig config = MakeRandomConfig(GetParam());
+  FineTuneSimulator simulator;
+  TwoPhaseSelector selector(&config.zoo, &config.matrix, &config.clustering,
+                            &simulator);
+
+  MetricsRegistry disabled(/*enabled=*/false);
+  TwoPhaseOptions serial_options = config.options;
+  serial_options.metrics = &disabled;
+  const TwoPhaseReport serial =
+      *selector.Select(config.target, serial_options, config.hp, nullptr);
+
+  for (int threads : ThreadCounts()) {
+    ThreadPool pool(threads);
+    MetricsRegistry live;
+    SelectionTrace trace;
+    TwoPhaseOptions instrumented = config.options;
+    instrumented.metrics = &live;
+    instrumented.trace = &trace;
+    const TwoPhaseReport parallel =
+        *selector.Select(config.target, instrumented, config.hp, &pool);
+    ExpectBitIdentical(serial, parallel,
+                       "instrumented, config " + std::to_string(GetParam()) +
+                           ", " + std::to_string(threads) + " threads");
+    // Live instrumentation, not a vacuous pass.
+    EXPECT_EQ(live.counter("two_phase.runs").value(), 1u);
+    EXPECT_EQ(trace.selected_model, serial.selection.selected_model);
   }
 }
 

@@ -1,0 +1,142 @@
+#include "core/selection_trace.h"
+
+#include <string>
+
+#include "core/two_phase.h"
+#include "data/registry.h"
+#include "gtest/gtest.h"
+#include "model/paper_zoo.h"
+#include "sim/finetune_simulator.h"
+
+namespace tps {
+namespace {
+
+SelectionTrace MakeSampleTrace() {
+  SelectionTrace trace;
+  trace.target = "mnli";
+  trace.domain = "NLP";
+  trace.recall.scored = {{22, 0, 0.25}, {5, 1, 1.0 / 3.0}};
+  trace.recall.ranked = {{7, 0.91, 0.88, 0.95, false},
+                         {3, 0.5, 0.7, 0.6, true}};
+  trace.recall.recalled = {7, 3};
+  trace.recall.proxies_computed = 2;
+  trace.recall.inference_epochs = 1.0;
+  trace.recall.wall_ms = 1.75;
+  TraceStage stage;
+  stage.stage = 0;
+  stage.entrants = {7, 3};
+  stage.epochs_charged = 2.0;
+  stage.prunes = {{3, 7, 0.61, 0.72, 0.66, 0.81, 0.15}};
+  stage.halving_drops = {};
+  stage.survivors = {7};
+  trace.stages.push_back(stage);
+  trace.fine_wall_ms = 0.5;
+  trace.selected_model = 7;
+  trace.selected_accuracy = 0.8125;
+  trace.training_epochs = 2.0;
+  trace.total_epochs = 3.0;
+  return trace;
+}
+
+TEST(SelectionTraceTest, JsonRoundTripIsLossless) {
+  const SelectionTrace trace = MakeSampleTrace();
+  auto parsed = SelectionTrace::FromJson(trace.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, trace);
+  // Byte-determinism: equal traces dump to identical bytes.
+  EXPECT_EQ(parsed->ToJson(), trace.ToJson());
+  // Compact form round-trips too.
+  auto compact = SelectionTrace::FromJson(trace.ToJson(-1));
+  ASSERT_TRUE(compact.ok());
+  EXPECT_EQ(*compact, trace);
+}
+
+TEST(SelectionTraceTest, EmptyTraceRoundTrips) {
+  const SelectionTrace empty;
+  auto parsed = SelectionTrace::FromJson(empty.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, empty);
+}
+
+TEST(SelectionTraceTest, RejectsMalformedInput) {
+  EXPECT_FALSE(SelectionTrace::FromJson("").ok());
+  EXPECT_FALSE(SelectionTrace::FromJson("not json").ok());
+  EXPECT_FALSE(SelectionTrace::FromJson("[]").ok());
+  EXPECT_FALSE(SelectionTrace::FromJson("{}").ok());
+  EXPECT_FALSE(
+      SelectionTrace::FromJson(R"({"schema_version":999})").ok());
+  // Truncations of a valid trace must error, never crash.
+  const std::string full = MakeSampleTrace().ToJson(-1);
+  for (size_t cut = 0; cut < full.size(); cut += 7) {
+    EXPECT_FALSE(SelectionTrace::FromJson(full.substr(0, cut)).ok())
+        << "accepted truncation at " << cut;
+  }
+}
+
+TEST(SelectionTraceTest, RejectsWrongFieldTypes) {
+  SelectionTrace trace = MakeSampleTrace();
+  std::string text = trace.ToJson(-1);
+  // A negative index is structurally valid JSON but not a valid trace.
+  const std::string key = "\"selected_model\":7";
+  const size_t pos = text.find(key);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, key.size(), "\"selected_model\":-7");
+  EXPECT_FALSE(SelectionTrace::FromJson(text).ok());
+}
+
+TEST(SelectionTraceTest, LiveTwoPhaseTraceRoundTrips) {
+  auto registry = DatasetRegistry::CreatePaperInventory();
+  ASSERT_TRUE(registry.ok());
+  auto zoo = ModelZoo::Create(NlpPaperZooSpecs());
+  ASSERT_TRUE(zoo.ok());
+  FineTuneSimulator simulator;
+  const Hyperparams hp = Hyperparams::DefaultsFor(TaskDomain::kNLP);
+  auto matrix = PerformanceMatrix::Build(
+      *zoo, registry->Benchmarks(TaskDomain::kNLP), simulator, hp);
+  ASSERT_TRUE(matrix.ok());
+  auto clustering = ClusterModels(*matrix, *zoo, ModelClusteringOptions());
+  ASSERT_TRUE(clustering.ok());
+  auto target = registry->Find("mnli");
+  ASSERT_TRUE(target.ok());
+
+  TwoPhaseSelector selector(&*zoo, &*matrix, &*clustering, &simulator);
+  SelectionTrace trace;
+  TwoPhaseOptions options;
+  options.trace = &trace;
+  auto report = selector.Select(**target, options, hp);
+  ASSERT_TRUE(report.ok());
+
+  // The trace agrees with the report it observed.
+  EXPECT_EQ(trace.target, "mnli");
+  EXPECT_EQ(trace.domain, "NLP");
+  EXPECT_EQ(trace.selected_model, report->selection.selected_model);
+  EXPECT_EQ(trace.selected_accuracy, report->selection.selected_accuracy);
+  EXPECT_EQ(trace.training_epochs, report->budget.training_epochs());
+  EXPECT_EQ(trace.total_epochs, report->budget.total_epochs());
+  EXPECT_EQ(trace.recall.inference_epochs,
+            report->budget.inference_epochs());
+  EXPECT_EQ(trace.recall.recalled.size(), options.recall.top_k_models);
+  ASSERT_EQ(trace.stages.size(), static_cast<size_t>(hp.epochs));
+  // Stage survivor counts mirror the report's ledger.
+  for (size_t s = 0; s < trace.stages.size(); ++s) {
+    EXPECT_EQ(trace.stages[s].entrants.size(),
+              report->selection.survivors_per_stage[s]);
+  }
+  // Every drop is accounted: entrants - prunes - halving = survivors.
+  for (const TraceStage& stage : trace.stages) {
+    EXPECT_EQ(stage.entrants.size() - stage.prunes.size() -
+                  stage.halving_drops.size(),
+              stage.survivors.size());
+    for (const TracePrune& prune : stage.prunes) {
+      EXPECT_GT(prune.margin, 0.0);
+      EXPECT_GT(prune.by_val, prune.val);
+    }
+  }
+  // And the whole thing survives a JSON round trip bit-exactly.
+  auto parsed = SelectionTrace::FromJson(trace.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, trace);
+}
+
+}  // namespace
+}  // namespace tps

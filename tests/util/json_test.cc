@@ -1,0 +1,151 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace tps {
+namespace json {
+namespace {
+
+TEST(JsonValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_FALSE(Value::Bool(false).bool_value());
+  EXPECT_DOUBLE_EQ(Value::Number(2.5).number(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::Int(7).number(), 7.0);
+  EXPECT_EQ(Value::String("hi").string(), "hi");
+  EXPECT_TRUE(Value::Array().is_array());
+  EXPECT_TRUE(Value::Object().is_object());
+}
+
+TEST(JsonValueTest, ObjectKeepsInsertionOrderAndOverwrites) {
+  Value obj = Value::Object();
+  obj.Set("z", Value::Int(1));
+  obj.Set("a", Value::Int(2));
+  obj.Set("z", Value::Int(3));  // Overwrite keeps the original position.
+  ASSERT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj.entries()[0].first, "z");
+  EXPECT_DOUBLE_EQ(obj.entries()[0].second.number(), 3.0);
+  EXPECT_EQ(obj.entries()[1].first, "a");
+  ASSERT_NE(obj.Find("a"), nullptr);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+}
+
+TEST(JsonDumpTest, CompactForm) {
+  Value root = Value::Object();
+  root.Set("n", Value::Int(42));
+  root.Set("s", Value::String("x"));
+  Value arr = Value::Array();
+  arr.Append(Value::Bool(true));
+  arr.Append(Value::Null());
+  root.Set("a", std::move(arr));
+  EXPECT_EQ(root.Dump(), R"({"n":42,"s":"x","a":[true,null]})");
+}
+
+TEST(JsonDumpTest, IntegralDoublesPrintAsIntegers) {
+  EXPECT_EQ(Value::Number(3.0).Dump(), "3");
+  EXPECT_EQ(Value::Number(-17.0).Dump(), "-17");
+  EXPECT_EQ(Value::Int(1234567890123).Dump(), "1234567890123");
+}
+
+TEST(JsonDumpTest, DoublesRoundTripLosslessly) {
+  const double values[] = {0.1, 1.0 / 3.0, 6.02214076e23, 5e-324,
+                           -2.2250738585072014e-308,
+                           std::numeric_limits<double>::max()};
+  for (double v : values) {
+    auto parsed = Parse(Value::Number(v).Dump());
+    ASSERT_TRUE(parsed.ok()) << v;
+    EXPECT_EQ(parsed->number(), v);  // Exact: %.17g is lossless.
+  }
+}
+
+TEST(JsonDumpTest, NonFiniteNumbersDumpAsNull) {
+  EXPECT_EQ(Value::Number(std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+  EXPECT_EQ(Value::Number(std::nan("")).Dump(), "null");
+}
+
+TEST(JsonDumpTest, StringEscapes) {
+  EXPECT_EQ(Value::String("a\"b\\c\n\t\x01").Dump(),
+            R"("a\"b\\c\n\t\u0001")");
+  // Bytes >= 0x20 pass through verbatim (UTF-8 or not).
+  EXPECT_EQ(Value::String("caf\xC3\xA9").Dump(), "\"caf\xC3\xA9\"");
+}
+
+TEST(JsonDumpTest, EqualValuesDumpIdenticalBytes) {
+  Value a = Value::Object();
+  a.Set("k", Value::Number(0.30000000000000004));
+  Value b = Value::Object();
+  b.Set("k", Value::Number(0.1 + 0.2));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Dump(2), b.Dump(2));
+}
+
+TEST(JsonParseTest, RoundTripsDocument) {
+  const std::string doc =
+      R"({"a":[1,2.5,"x",true,null],"b":{"nested":[[]]},"c":-0.125})";
+  auto parsed = Parse(doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Dump(), doc);
+}
+
+TEST(JsonParseTest, AcceptsEscapesAndUnicode) {
+  auto parsed = Parse(R"("a\u0041\n\u00e9")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string(), "aA\n\xC3\xA9");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",        "{",        "[1,",      "\"unterminated", "{\"k\":}",
+      "tru",     "01",       "1.",       "- 1",            "[1 2]",
+      "{\"a\" 1}", "\"\\x\"", "\"\\u12\"", "nulll",        "1e",
+      "{\"a\":1,}", "[,]",   "+1",       ".5",             "[1e+]",
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(Parse(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonParseTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(Parse("{} x").ok());
+  EXPECT_FALSE(Parse("1 2").ok());
+  EXPECT_TRUE(Parse(" {} \n").ok());
+}
+
+TEST(JsonParseTest, DepthLimitBlocksDeepNesting) {
+  std::string deep(kMaxParseDepth + 1, '[');
+  deep += std::string(kMaxParseDepth + 1, ']');
+  EXPECT_FALSE(Parse(deep).ok());
+  std::string ok_depth(kMaxParseDepth - 1, '[');
+  ok_depth += std::string(kMaxParseDepth - 1, ']');
+  EXPECT_TRUE(Parse(ok_depth).ok());
+}
+
+TEST(JsonParseTest, RejectsNonFiniteLiterals) {
+  EXPECT_FALSE(Parse("1e999").ok());
+  EXPECT_FALSE(Parse("NaN").ok());
+  EXPECT_FALSE(Parse("Infinity").ok());
+}
+
+TEST(JsonGetTest, FallibleAccessorsReturnStatus) {
+  auto parsed = Parse(R"({"b":true,"n":1.5,"s":"v","a":[],"o":{}})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->GetBool("b").ok());
+  EXPECT_TRUE(parsed->GetNumber("n").ok());
+  EXPECT_TRUE(parsed->GetString("s").ok());
+  EXPECT_TRUE(parsed->GetArray("a").ok());
+  EXPECT_TRUE(parsed->GetObject("o").ok());
+  // Missing key and wrong type both yield errors, never crashes.
+  EXPECT_FALSE(parsed->GetBool("missing").ok());
+  EXPECT_FALSE(parsed->GetNumber("s").ok());
+  EXPECT_FALSE(parsed->GetArray("o").ok());
+}
+
+}  // namespace
+}  // namespace json
+}  // namespace tps

@@ -29,10 +29,24 @@
 //       Compact a model store's log (drop overwritten/deleted records)
 //       and print the log size before/after plus recovery stats.
 //
+//   tps_cli trace    --domain=nlp --matrix=m.txt --clustering=c.txt ...
+//                    --target=mnli [--k=10] [--threshold=0.0] [--out=t.json]
+//       Run the full two-phase selection and emit the structured
+//       SelectionTrace as JSON (per-cluster recall scores, recalled set,
+//       every rung's survivors and prunes, epoch totals) to stdout or
+//       --out. `select` also accepts --trace=PATH to write the same JSON
+//       alongside its human-readable report.
+//
 // All subcommands are deterministic; no flags are required beyond the ones
 // shown (defaults in brackets). `offline`, `recall` and `select` accept
 // --threads=N (default 1) to fan independent simulator/proxy work over a
 // shared thread pool — output is bit-identical for every thread count.
+//
+// Any invocation additionally accepts --metrics[=PATH]: after the
+// subcommand finishes, the process-wide MetricsRegistry (counters, gauges,
+// latency histograms — see "Observability" in DESIGN.md) is dumped as JSON
+// to stdout or PATH. Observability never changes results or exit codes of
+// a successful command.
 
 #include <fstream>
 #include <iostream>
@@ -47,6 +61,7 @@
 #include "model/paper_zoo.h"
 #include "store/model_store.h"
 #include "util/flags.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 #include "util/thread_pool.h"
@@ -62,10 +77,27 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::cerr
-      << "usage: tps_cli <offline|recall|select|baselines|datasets|models|"
-         "card|store-info|store-compact> [--flags]\n"
+      << "usage: tps_cli <offline|recall|select|trace|baselines|datasets|"
+         "models|card|store-info|store-compact> [--flags] [--metrics[=PATH]]\n"
          "run `head tools/tps_cli.cc` for the full flag reference\n";
   return 2;
+}
+
+/// Writes `text` to `path`, or to stdout when `path` is empty.
+int EmitText(const std::string& text, const std::string& path,
+             const char* what) {
+  if (path.empty()) {
+    std::cout << text << "\n";
+    return 0;
+  }
+  std::ofstream out(path);
+  if (out) out << text << "\n";
+  if (!out) {
+    return Fail(Status::IOError(std::string("cannot write ") + what + ": " +
+                                path));
+  }
+  std::cout << what << " -> " << path << "\n";
+  return 0;
 }
 
 StatusOr<int> ThreadsFromFlag(const FlagParser& flags) {
@@ -275,6 +307,18 @@ int RunRecall(const FlagParser& flags) {
   return 0;
 }
 
+/// Parses the flags shared by `select` and `trace` (--k, --threshold,
+/// --threads).
+StatusOr<TwoPhaseOptions> TwoPhaseOptionsFromFlags(const FlagParser& flags) {
+  TwoPhaseOptions options;
+  TPS_ASSIGN_OR_RETURN(int64_t k, flags.GetInt("k", 10));
+  options.recall.top_k_models = static_cast<size_t>(k);
+  TPS_ASSIGN_OR_RETURN(options.fine_selection.threshold,
+                       flags.GetDouble("threshold", 0.0));
+  TPS_ASSIGN_OR_RETURN(options.num_threads, ThreadsFromFlag(flags));
+  return options;
+}
+
 int RunSelect(const FlagParser& flags) {
   auto world_or = LoadWorld(flags);
   if (!world_or.ok()) return Fail(world_or.status());
@@ -282,16 +326,12 @@ int RunSelect(const FlagParser& flags) {
   auto target_or = world.registry.Find(flags.GetString("target"));
   if (!target_or.ok()) return Fail(target_or.status());
 
-  TwoPhaseOptions options;
-  auto k_or = flags.GetInt("k", 10);
-  if (!k_or.ok()) return Fail(k_or.status());
-  options.recall.top_k_models = static_cast<size_t>(*k_or);
-  auto threshold_or = flags.GetDouble("threshold", 0.0);
-  if (!threshold_or.ok()) return Fail(threshold_or.status());
-  options.fine_selection.threshold = *threshold_or;
-  auto threads_or = ThreadsFromFlag(flags);
-  if (!threads_or.ok()) return Fail(threads_or.status());
-  options.num_threads = *threads_or;
+  auto options_or = TwoPhaseOptionsFromFlags(flags);
+  if (!options_or.ok()) return Fail(options_or.status());
+  TwoPhaseOptions options = *options_or;
+  SelectionTrace trace;
+  const std::string trace_path = flags.GetString("trace");
+  if (flags.Has("trace")) options.trace = &trace;
 
   FineTuneSimulator simulator;
   TwoPhaseSelector selector(&world.zoo, &world.matrix, &world.clustering,
@@ -321,7 +361,38 @@ int RunSelect(const FlagParser& flags) {
     out << RenderSelectionReport(report, world.zoo, **target_or);
     std::cout << "markdown report -> " << report_path << "\n";
   }
+  if (options.trace != nullptr) {
+    if (trace_path.empty()) {
+      return Fail(Status::InvalidArgument(
+          "--trace needs a file path (use `tps_cli trace` to print the "
+          "trace to stdout)"));
+    }
+    const int code = EmitText(trace.ToJson(2), trace_path, "selection trace");
+    if (code != 0) return code;
+  }
   return 0;
+}
+
+int RunTrace(const FlagParser& flags) {
+  auto world_or = LoadWorld(flags);
+  if (!world_or.ok()) return Fail(world_or.status());
+  LoadedWorld& world = *world_or;
+  auto target_or = world.registry.Find(flags.GetString("target"));
+  if (!target_or.ok()) return Fail(target_or.status());
+
+  auto options_or = TwoPhaseOptionsFromFlags(flags);
+  if (!options_or.ok()) return Fail(options_or.status());
+  TwoPhaseOptions options = *options_or;
+  SelectionTrace trace;
+  options.trace = &trace;
+
+  FineTuneSimulator simulator;
+  TwoPhaseSelector selector(&world.zoo, &world.matrix, &world.clustering,
+                            &simulator);
+  auto report_or = selector.Select(**target_or, options);
+  if (!report_or.ok()) return Fail(report_or.status());
+  return EmitText(trace.ToJson(2), flags.GetString("out"),
+                  "selection trace");
 }
 
 int RunBaselines(const FlagParser& flags) {
@@ -495,15 +566,11 @@ int RunStoreCompact(const FlagParser& flags) {
   return 0;
 }
 
-int Main(int argc, char** argv) {
-  auto flags_or = FlagParser::Parse(argc, argv);
-  if (!flags_or.ok()) return Fail(flags_or.status());
-  const FlagParser& flags = *flags_or;
-  if (flags.positionals().empty()) return Usage();
-  const std::string command = flags.positionals()[0];
+int Dispatch(const std::string& command, const FlagParser& flags) {
   if (command == "offline") return RunOffline(flags);
   if (command == "recall") return RunRecall(flags);
   if (command == "select") return RunSelect(flags);
+  if (command == "trace") return RunTrace(flags);
   if (command == "baselines") return RunBaselines(flags);
   if (command == "datasets") return RunDatasets(flags);
   if (command == "models") return RunModels(flags);
@@ -511,6 +578,23 @@ int Main(int argc, char** argv) {
   if (command == "store-info") return RunStoreInfo(flags);
   if (command == "store-compact") return RunStoreCompact(flags);
   return Usage();
+}
+
+int Main(int argc, char** argv) {
+  auto flags_or = FlagParser::Parse(argc, argv);
+  if (!flags_or.ok()) return Fail(flags_or.status());
+  const FlagParser& flags = *flags_or;
+  if (flags.positionals().empty()) return Usage();
+  const int code = Dispatch(flags.positionals()[0], flags);
+  if (flags.Has("metrics")) {
+    // Dump even after a failed command: the counters recorded up to the
+    // failure are exactly what a postmortem wants. A dump failure never
+    // masks the command's own exit code.
+    const int metrics_code = EmitText(MetricsRegistry::Default()->ToJson(2),
+                                      flags.GetString("metrics"), "metrics");
+    if (code == 0 && metrics_code != 0) return metrics_code;
+  }
+  return code;
 }
 
 }  // namespace
