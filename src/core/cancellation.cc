@@ -1,0 +1,22 @@
+#include "core/cancellation.h"
+
+#include <string>
+
+namespace tps {
+
+Status CancelToken::Check(const char* where) const {
+  bool expired = cancelled();
+  if (!expired && has_countdown_.load(std::memory_order_relaxed)) {
+    // fetch_sub hands every concurrent checker a distinct pre-decrement
+    // value, so exactly one observes the 0 -> -1 transition; <= 0 latches
+    // for everyone after.
+    if (checks_left_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      expired = true;
+    }
+  }
+  if (!expired) return Status::OK();
+  return Status::DeadlineExceeded(std::string("cancelled at ") + where);
+}
+
+}  // namespace tps

@@ -39,8 +39,10 @@ StatusOr<RecallResult> CoarseRecall::Recall(const Dataset& target,
                                             EpochBudget* budget,
                                             ThreadPool* pool,
                                             MetricsRegistry* metrics,
-                                            SelectionTrace* trace) const {
+                                            SelectionTrace* trace,
+                                            const CancelToken* cancel) const {
   if (metrics == nullptr) metrics = MetricsRegistry::Default();
+  TPS_RETURN_NOT_OK(CheckCancel(cancel, "coarse recall entry"));
   WallTimer phase_timer;
   const size_t n = zoo_->size();
   if (n == 0) return Status::FailedPrecondition("empty model zoo");
@@ -94,9 +96,17 @@ StatusOr<RecallResult> CoarseRecall::Recall(const Dataset& target,
     std::vector<double> raw_scores(scored_models.size(), 0.0);
     TPS_RETURN_NOT_OK(StatusParallelFor(
         pool, scored_models.size(), [&](size_t i) -> Status {
-          TPS_ASSIGN_OR_RETURN(
-              raw_scores[i],
-              scorer->Score(zoo_->model(scored_models[i]), target));
+          TPS_RETURN_NOT_OK(CheckCancel(cancel, "proxy fan-out"));
+          if (options.score_cache != nullptr) {
+            TPS_ASSIGN_OR_RETURN(raw_scores[i],
+                                 options.score_cache->GetOrCompute(
+                                     *scorer, zoo_->model(scored_models[i]),
+                                     target));
+          } else {
+            TPS_ASSIGN_OR_RETURN(
+                raw_scores[i],
+                scorer->Score(zoo_->model(scored_models[i]), target));
+          }
           return Status::OK();
         }));
     const std::vector<double> normalized = MinMaxNormalize(raw_scores);
@@ -130,6 +140,7 @@ StatusOr<RecallResult> CoarseRecall::Recall(const Dataset& target,
   // entries fan out over the pool into index-addressed slots; the
   // stable_sort below then sees the same array as the serial run and
   // breaks ties identically.
+  TPS_RETURN_NOT_OK(CheckCancel(cancel, "recall scoring"));
   result.ranked.resize(n);
   TPS_RETURN_NOT_OK(StatusParallelFor(pool, n, [&](size_t m) -> Status {
     RecallEntry entry;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cancellation.h"
 #include "core/model_clusterer.h"
 #include "core/performance_matrix.h"
 #include "core/selection_trace.h"
@@ -12,6 +13,7 @@
 #include "model/zoo.h"
 #include "sim/epoch_budget.h"
 #include "transfer/proxy_scorer.h"
+#include "transfer/score_cache.h"
 #include "util/metrics.h"
 #include "util/statusor.h"
 #include "util/thread_pool.h"
@@ -38,6 +40,17 @@ struct RecallOptions {
   /// Ablation switch: when false, drop the acc(m) prior from Eq. 2 and use
   /// the proxy component alone.
   bool use_accuracy_prior = true;
+  /// Optional LRU proxy-score cache ("Serving" in DESIGN.md). When
+  /// non-null, every representative's (target, model, scorer) proxy score
+  /// is looked up before computing and inserted after, so repeated and
+  /// overlapping queries skip the forward pass. Scores are deterministic,
+  /// so the ranking is bit-identical with the cache on or off; the epoch
+  /// budget still charges every scored representative (the paper's cost
+  /// model counts logical inferences, and keeping the ledger
+  /// cache-independent is what lets the inertness tests compare runs).
+  /// nullptr disables caching. The cache must be thread-safe when a pool
+  /// is passed (ProxyScoreCache is).
+  ProxyScoreCache* score_cache = nullptr;
 };
 
 /// One scored model in the recall ranking.
@@ -91,12 +104,16 @@ class CoarseRecall {
   /// tests/core/metrics_inertness_test.cc): `metrics` receives recall
   /// counters/latency (nullptr -> MetricsRegistry::Default()); when
   /// `trace` is non-null its recall phase is filled in.
+  /// `cancel` (may be null) is polled at entry and inside the proxy
+  /// fan-out; an expired token yields DeadlineExceeded, never a partial
+  /// ranking.
   StatusOr<RecallResult> Recall(const Dataset& target,
                                 const RecallOptions& options,
                                 EpochBudget* budget,
                                 ThreadPool* pool = nullptr,
                                 MetricsRegistry* metrics = nullptr,
-                                SelectionTrace* trace = nullptr) const;
+                                SelectionTrace* trace = nullptr,
+                                const CancelToken* cancel = nullptr) const;
 
  private:
   const ModelZoo* zoo_;

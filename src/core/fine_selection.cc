@@ -21,7 +21,8 @@ FineSelectionSelector::FineSelectionSelector(
 StatusOr<SelectionOutcome> FineSelectionSelector::Select(
     const std::vector<size_t>& candidates, const Dataset& target,
     const Hyperparams& hp, EpochBudget* budget, ThreadPool* pool,
-    MetricsRegistry* metrics, SelectionTrace* trace) const {
+    MetricsRegistry* metrics, SelectionTrace* trace,
+    const CancelToken* cancel) const {
   if (candidates.empty()) {
     return Status::InvalidArgument("fine-selection needs >= 1 candidate");
   }
@@ -31,6 +32,7 @@ StatusOr<SelectionOutcome> FineSelectionSelector::Select(
     }
   }
   if (metrics == nullptr) metrics = MetricsRegistry::Default();
+  TPS_RETURN_NOT_OK(CheckCancel(cancel, "fine selection entry"));
   WallTimer phase_timer;
 
   // Deterministic full curves; prefixes are consumed stage by stage. Each
@@ -39,6 +41,7 @@ StatusOr<SelectionOutcome> FineSelectionSelector::Select(
   std::vector<TrainingRun> runs(candidates.size());
   TPS_RETURN_NOT_OK(StatusParallelFor(
       pool, candidates.size(), [&](size_t i) -> Status {
+        TPS_RETURN_NOT_OK(CheckCancel(cancel, "simulator fan-out"));
         TPS_ASSIGN_OR_RETURN(
             runs[i], simulator_->Run(zoo_->model(candidates[i]), target, hp));
         return Status::OK();
@@ -56,6 +59,7 @@ StatusOr<SelectionOutcome> FineSelectionSelector::Select(
   };
 
   for (int stage = 0; stage < hp.epochs; ++stage) {
+    TPS_RETURN_NOT_OK(CheckCancel(cancel, "fine selection rung"));
     TraceStage stage_trace;
     stage_trace.stage = stage;
     if (trace != nullptr) stage_trace.entrants = zoo_indices(remaining);

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/cancellation.h"
 #include "core/convergence_trend.h"
 #include "core/selection.h"
 #include "core/selection_trace.h"
@@ -61,13 +62,17 @@ class FineSelectionSelector {
   /// non-null every rung — entrants, each trend-based prune with its
   /// predicted-vs-threshold margin, halving drops, survivors — is appended
   /// to trace->stages.
+  /// `cancel` (may be null) is polled at entry, inside the simulator
+  /// fan-out, and at the top of every rung; an expired token yields
+  /// DeadlineExceeded, never a partial outcome.
   StatusOr<SelectionOutcome> Select(const std::vector<size_t>& candidates,
                                     const Dataset& target,
                                     const Hyperparams& hp,
                                     EpochBudget* budget,
                                     ThreadPool* pool = nullptr,
                                     MetricsRegistry* metrics = nullptr,
-                                    SelectionTrace* trace = nullptr) const;
+                                    SelectionTrace* trace = nullptr,
+                                    const CancelToken* cancel = nullptr) const;
 
   const FineSelectionOptions& options() const { return options_; }
 

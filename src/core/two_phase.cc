@@ -56,7 +56,7 @@ StatusOr<TwoPhaseReport> TwoPhaseSelector::Select(
   CoarseRecall recall(zoo_, matrix_, clustering_);
   TPS_ASSIGN_OR_RETURN(report.recall,
                        recall.Recall(target, options.recall, &report.budget,
-                                     pool, metrics, trace));
+                                     pool, metrics, trace, options.cancel));
   const std::vector<size_t> candidates =
       report.recall.TopModels(options.recall.top_k_models);
   if (candidates.empty()) {
@@ -70,7 +70,7 @@ StatusOr<TwoPhaseReport> TwoPhaseSelector::Select(
                              options.fine_selection);
   TPS_ASSIGN_OR_RETURN(report.selection,
                        fine.Select(candidates, target, hp, &report.budget,
-                                   pool, metrics, trace));
+                                   pool, metrics, trace, options.cancel));
   metrics->counter("two_phase.runs").Increment();
   if (trace != nullptr) trace->total_epochs = report.budget.total_epochs();
   return report;

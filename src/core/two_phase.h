@@ -1,6 +1,7 @@
 #ifndef TPS_CORE_TWO_PHASE_H_
 #define TPS_CORE_TWO_PHASE_H_
 
+#include "core/cancellation.h"
 #include "core/coarse_recall.h"
 #include "core/convergence_trend.h"
 #include "core/fine_selection.h"
@@ -39,6 +40,12 @@ struct TwoPhaseOptions {
   /// per-rung survivors and prunes, epoch totals) is recorded into it per
   /// Select call. The trace is cleared first, so it can be reused.
   SelectionTrace* trace = nullptr;
+  /// Cooperative cancellation / deadline token ("Serving" in DESIGN.md).
+  /// Both phases poll it at phase entry, before every proxy/simulator
+  /// fan-out, and at each fine-selection rung; once it expires Select
+  /// returns a DeadlineExceeded Status and no partial result. nullptr (the
+  /// default) never cancels.
+  const CancelToken* cancel = nullptr;
 };
 
 /// End-to-end report: who was recalled, who won, and what it cost.

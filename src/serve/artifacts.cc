@@ -1,0 +1,92 @@
+#include "serve/artifacts.h"
+
+#include <utility>
+
+#include "model/paper_zoo.h"
+#include "sim/finetune_simulator.h"
+#include "sim/hyperparams.h"
+#include "store/model_store.h"
+
+namespace tps {
+namespace serve {
+
+namespace {
+
+StatusOr<ModelZoo> ZooFor(TaskDomain domain) {
+  return ModelZoo::Create(domain == TaskDomain::kNLP ? NlpPaperZooSpecs()
+                                                     : CvPaperZooSpecs());
+}
+
+std::string EffectiveId(const ArtifactPaths& paths) {
+  if (!paths.id.empty()) return paths.id;
+  return paths.domain == TaskDomain::kNLP ? "nlp" : "cv";
+}
+
+}  // namespace
+
+StatusOr<ServiceArtifacts> ServiceArtifacts::Load(
+    const ArtifactPaths& paths) {
+  TPS_ASSIGN_OR_RETURN(DatasetRegistry registry,
+                       DatasetRegistry::CreatePaperInventory());
+  TPS_ASSIGN_OR_RETURN(ModelZoo zoo, ZooFor(paths.domain));
+
+  auto load_matrix = [&]() -> StatusOr<PerformanceMatrix> {
+    if (!paths.store.empty()) {
+      TPS_ASSIGN_OR_RETURN(ModelStore store, ModelStore::Open(paths.store));
+      return store.GetPerformanceMatrix(EffectiveId(paths));
+    }
+    if (paths.matrix.empty()) {
+      return Status::InvalidArgument(
+          "--store or --matrix/--clustering paths are required (run "
+          "`tps_cli offline` first)");
+    }
+    return PerformanceMatrix::LoadFromFile(paths.matrix);
+  };
+  auto load_clustering = [&]() -> StatusOr<ModelClustering> {
+    if (!paths.store.empty()) {
+      TPS_ASSIGN_OR_RETURN(ModelStore store, ModelStore::Open(paths.store));
+      return store.GetClustering(EffectiveId(paths));
+    }
+    if (paths.clustering.empty()) {
+      return Status::InvalidArgument(
+          "--store or --matrix/--clustering paths are required (run "
+          "`tps_cli offline` first)");
+    }
+    return LoadClustering(paths.clustering);
+  };
+  TPS_ASSIGN_OR_RETURN(PerformanceMatrix matrix, load_matrix());
+  TPS_ASSIGN_OR_RETURN(ModelClustering clustering, load_clustering());
+  if (matrix.num_models() != zoo.size() ||
+      clustering.clusters.assignments.size() != zoo.size()) {
+    return Status::FailedPrecondition(
+        "artifacts do not match the " + std::string(ToString(paths.domain)) +
+        " paper zoo; rebuild with `tps_cli offline`");
+  }
+  return ServiceArtifacts{std::move(registry), std::move(zoo),
+                          std::move(matrix), std::move(clustering),
+                          paths.domain};
+}
+
+StatusOr<ServiceArtifacts> ServiceArtifacts::Build(TaskDomain domain,
+                                                   int threads) {
+  if (threads < 1) {
+    return Status::InvalidArgument("threads must be >= 1");
+  }
+  TPS_ASSIGN_OR_RETURN(DatasetRegistry registry,
+                       DatasetRegistry::CreatePaperInventory());
+  TPS_ASSIGN_OR_RETURN(ModelZoo zoo, ZooFor(domain));
+  FineTuneSimulator simulator;
+  TPS_ASSIGN_OR_RETURN(
+      PerformanceMatrix matrix,
+      PerformanceMatrix::BuildParallel(zoo, registry.Benchmarks(domain),
+                                       simulator,
+                                       Hyperparams::DefaultsFor(domain),
+                                       threads));
+  TPS_ASSIGN_OR_RETURN(ModelClustering clustering,
+                       ClusterModels(matrix, zoo, ModelClusteringOptions()));
+  return ServiceArtifacts{std::move(registry), std::move(zoo),
+                          std::move(matrix), std::move(clustering), domain};
+}
+
+}  // namespace serve
+}  // namespace tps

@@ -1,0 +1,55 @@
+#ifndef TPS_SERVE_ARTIFACTS_H_
+#define TPS_SERVE_ARTIFACTS_H_
+
+#include <string>
+
+#include "core/model_clusterer.h"
+#include "core/performance_matrix.h"
+#include "data/registry.h"
+#include "model/zoo.h"
+#include "util/statusor.h"
+
+namespace tps {
+namespace serve {
+
+/// Where to load the offline artifacts from: either a model store (`store`
+/// + `id`) or the plain-file pair (`matrix` + `clustering`). `id` defaults
+/// to the domain name ("nlp" / "cv") when empty.
+struct ArtifactPaths {
+  TaskDomain domain = TaskDomain::kNLP;
+  std::string store;
+  std::string id;
+  std::string matrix;
+  std::string clustering;
+};
+
+/// Everything the online pipeline reads: the dataset inventory, the model
+/// zoo, and the offline artifacts (performance matrix + clustering). One
+/// loaded instance is shared read-only by every request a SelectionService
+/// handles — the whole point of the serving layer is to stop reloading
+/// this per invocation.
+struct ServiceArtifacts {
+  DatasetRegistry registry;
+  ModelZoo zoo;
+  PerformanceMatrix matrix;
+  ModelClustering clustering;
+  TaskDomain domain = TaskDomain::kNLP;
+
+  /// Loads previously persisted artifacts (store or files) and validates
+  /// they match the paper zoo for the domain. The store is opened
+  /// read-only-in-spirit: it is opened, read, and closed before this
+  /// returns, so a long-lived service holds no lock on the log file.
+  static StatusOr<ServiceArtifacts> Load(const ArtifactPaths& paths);
+
+  /// Builds fresh artifacts in-process (registry + zoo + matrix +
+  /// clustering) — the offline phase without persistence. Used by tests
+  /// and benches that need a self-contained world. `threads` >= 1 fans
+  /// the matrix build over a pool.
+  static StatusOr<ServiceArtifacts> Build(TaskDomain domain,
+                                          int threads = 1);
+};
+
+}  // namespace serve
+}  // namespace tps
+
+#endif  // TPS_SERVE_ARTIFACTS_H_

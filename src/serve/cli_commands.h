@@ -1,0 +1,41 @@
+#ifndef TPS_SERVE_CLI_COMMANDS_H_
+#define TPS_SERVE_CLI_COMMANDS_H_
+
+#include "serve/artifacts.h"
+#include "serve/service.h"
+#include "util/flags.h"
+#include "util/statusor.h"
+
+namespace tps {
+namespace serve {
+
+/// Flag plumbing shared by `tps_serve` and the `tps_cli serve`/`query`
+/// subcommands, so the standalone daemon and the multiplexed CLI accept
+/// identical flags and print identical output.
+
+/// --domain/--store/--id/--matrix/--clustering -> ArtifactPaths.
+StatusOr<ArtifactPaths> ArtifactPathsFromFlags(const FlagParser& flags);
+
+/// --workers (2) / --queue (64) / --threads (1) / --cache (4096) /
+/// --deadline (ms, 0 = none) -> ServiceOptions.
+StatusOr<ServiceOptions> ServiceOptionsFromFlags(const FlagParser& flags);
+
+/// --target / --k (10) / --threshold (0) / --proxy (leep) / --proxies /
+/// --deadline (ms) / --trace (bool) -> SelectionRequest.
+StatusOr<SelectionRequest> RequestFromFlags(const FlagParser& flags);
+
+/// `serve`: load artifacts, start a SelectionService plus its socket front
+/// end (--socket=PATH and/or --port=N; port 0 auto-assigns), then block
+/// until a client sends {"cmd":"shutdown"}. Returns a process exit code.
+int RunServe(const FlagParser& flags);
+
+/// `query`: connect to a running server (--socket=PATH or --port=N), send
+/// one request (--cmd=select|ping|stats|shutdown, default select), print
+/// the raw NDJSON reply line on stdout. Exit 0 iff the reply has
+/// "ok": true.
+int RunQuery(const FlagParser& flags);
+
+}  // namespace serve
+}  // namespace tps
+
+#endif  // TPS_SERVE_CLI_COMMANDS_H_

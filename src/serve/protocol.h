@@ -1,0 +1,74 @@
+#ifndef TPS_SERVE_PROTOCOL_H_
+#define TPS_SERVE_PROTOCOL_H_
+
+#include <string>
+
+#include "serve/service.h"
+#include "util/statusor.h"
+
+namespace tps {
+namespace serve {
+
+/// Newline-delimited JSON wire protocol ("Serving" in DESIGN.md).
+///
+/// Every request is one JSON object on one line; every reply is one JSON
+/// object on one line. Schema (v1 — extend by adding keys, never by
+/// renaming):
+///
+///   select (default when "cmd" is absent):
+///     {"target": "mnli", "k": 10, "threshold": 0.0, "proxy": "leep",
+///      "proxies": ["leep","nce"], "deadline_ms": 250, "trace": false}
+///     -> {"ok": true, "target": "mnli", "selected": "...",
+///         "accuracy": 0.83, "training_epochs": 17, "inference_epochs":
+///         3.5, "total_epochs": 20.5, "survivors": [10,5,2,1,1],
+///         "wall_ms": 1.2, "cache_hits": 7, "cache_misses": 0,
+///         "trace": {...}}          // trace only when requested
+///
+///   {"cmd": "ping"}     -> {"ok": true, "pong": true}
+///   {"cmd": "stats"}    -> {"ok": true, "stats": {...ServiceStats...}}
+///   {"cmd": "shutdown"} -> {"ok": true, "shutting_down": true}, then the
+///                          server stops accepting and drains.
+///
+/// Failures (parse errors, unknown targets, queue-full rejection, deadline
+/// expiry) are `{"ok": false, "code": "<StatusCodeName>", "error":
+/// "<message>"}` — the connection stays open; one bad line never tears
+/// down a session.
+enum class WireCommand { kSelect, kPing, kStats, kShutdown };
+
+struct WireRequest {
+  WireCommand command = WireCommand::kSelect;
+  SelectionRequest select;  // Only meaningful for kSelect.
+};
+
+/// Parses one request line. InvalidArgument on malformed JSON, a non-object
+/// document, an unknown "cmd", bad field types, or a missing target for
+/// select. Unknown keys are ignored (forward compatibility).
+StatusOr<WireRequest> ParseRequestLine(const std::string& line);
+
+/// Serializes a select request (the client side of the protocol).
+std::string RequestToLine(const SelectionRequest& request);
+
+/// One-line JSON reply for a handled selection (ok or error form).
+std::string ResponseToLine(const SelectionResponse& response);
+
+/// One-line `{"ok": false, ...}` reply for protocol-level failures.
+std::string ErrorToLine(const Status& status);
+
+/// {"ok": true, "pong": true}
+std::string PongLine();
+
+/// {"ok": true, "stats": {...}}
+std::string StatsToLine(const ServiceStats& stats);
+
+/// {"ok": true, "shutting_down": true}
+std::string ShutdownAckLine();
+
+/// Client-side decode of a reply line: OK and the parsed object when
+/// `"ok": true`; the transported Status (code restored from "code")
+/// otherwise.
+StatusOr<SelectionResponse> ParseResponseLine(const std::string& line);
+
+}  // namespace serve
+}  // namespace tps
+
+#endif  // TPS_SERVE_PROTOCOL_H_

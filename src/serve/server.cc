@@ -1,0 +1,148 @@
+#include "serve/server.h"
+
+#include <utility>
+
+#include "serve/protocol.h"
+
+namespace tps {
+namespace serve {
+
+StatusOr<std::unique_ptr<SelectionServer>> SelectionServer::Start(
+    SelectionService* service, const ServerOptions& options) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("service must not be null");
+  }
+  if (options.unix_path.empty() && options.tcp_port < 0) {
+    return Status::InvalidArgument(
+        "at least one endpoint is required (unix_path or tcp_port)");
+  }
+  std::vector<ServerSocket> listeners;
+  if (!options.unix_path.empty()) {
+    TPS_ASSIGN_OR_RETURN(ServerSocket listener,
+                         ServerSocket::ListenUnix(options.unix_path));
+    listeners.push_back(std::move(listener));
+  }
+  if (options.tcp_port >= 0) {
+    TPS_ASSIGN_OR_RETURN(ServerSocket listener,
+                         ServerSocket::ListenTcp(options.tcp_port));
+    listeners.push_back(std::move(listener));
+  }
+  return std::unique_ptr<SelectionServer>(
+      new SelectionServer(service, std::move(listeners)));
+}
+
+SelectionServer::SelectionServer(SelectionService* service,
+                                 std::vector<ServerSocket> listeners)
+    : service_(service), listeners_(std::move(listeners)) {
+  for (ServerSocket& listener : listeners_) {
+    if (!listener.unix_path().empty()) unix_path_ = listener.unix_path();
+    if (listener.port() > 0) tcp_port_ = listener.port();
+  }
+  accept_threads_.reserve(listeners_.size());
+  for (ServerSocket& listener : listeners_) {
+    accept_threads_.emplace_back([this, &listener] { AcceptLoop(&listener); });
+  }
+}
+
+SelectionServer::~SelectionServer() { Shutdown(); }
+
+void SelectionServer::AcceptLoop(ServerSocket* listener) {
+  for (;;) {
+    StatusOr<Socket> accepted = listener->Accept();
+    if (!accepted.ok()) return;  // Unavailable after Shutdown, or fatal.
+    auto socket = std::make_shared<Socket>(std::move(*accepted));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;  // Late straggler: drop the connection.
+    connections_.push_back(socket);
+    connection_threads_.emplace_back(
+        [this, socket] { HandleConnection(socket); });
+  }
+}
+
+void SelectionServer::HandleConnection(std::shared_ptr<Socket> socket) {
+  std::string buffer;
+  for (;;) {
+    StatusOr<std::string> line_or = socket->RecvLine(&buffer);
+    if (!line_or.ok()) return;  // Peer closed (or we were shut down).
+    if (line_or->empty()) continue;  // Tolerate blank keep-alive lines.
+    StatusOr<WireRequest> request_or = ParseRequestLine(*line_or);
+    if (!request_or.ok()) {
+      // One bad line never tears down the session.
+      if (!socket->SendAll(ErrorToLine(request_or.status()) + "\n").ok()) {
+        return;
+      }
+      continue;
+    }
+    std::string reply;
+    bool shutdown_after = false;
+    switch (request_or->command) {
+      case WireCommand::kPing:
+        reply = PongLine();
+        break;
+      case WireCommand::kStats:
+        reply = StatsToLine(service_->Stats());
+        break;
+      case WireCommand::kShutdown:
+        reply = ShutdownAckLine();
+        shutdown_after = true;
+        break;
+      case WireCommand::kSelect: {
+        // Submit, not Handle: socket traffic goes through the same
+        // admission control and deadline accounting as embedded callers.
+        SelectionResponse response =
+            service_->Submit(std::move(request_or->select)).get();
+        reply = ResponseToLine(response);
+        break;
+      }
+    }
+    if (!socket->SendAll(reply + "\n").ok()) return;
+    if (shutdown_after) {
+      RequestShutdown();  // Wait()/destructor performs the join.
+      return;
+    }
+  }
+}
+
+void SelectionServer::RequestShutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return;
+  stopping_ = true;
+  for (ServerSocket& listener : listeners_) listener.Shutdown();
+  for (const std::shared_ptr<Socket>& connection : connections_) {
+    connection->ShutdownBoth();
+  }
+  stopped_cv_.notify_all();
+}
+
+void SelectionServer::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stopped_cv_.wait(lock, [this] { return stopping_; });
+}
+
+void SelectionServer::Shutdown() {
+  RequestShutdown();
+  std::vector<std::thread> accepts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (joined_) return;
+    joined_ = true;
+    accepts.swap(accept_threads_);
+  }
+  for (std::thread& thread : accepts) thread.join();
+  // After the accept threads are gone no new connection threads can be
+  // spawned, so this snapshot is complete.
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections.swap(connection_threads_);
+  }
+  for (std::thread& thread : connections) thread.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections_.clear();
+  }
+  for (ServerSocket& listener : listeners_) listener.Close();
+}
+
+}  // namespace serve
+}  // namespace tps

@@ -1,0 +1,92 @@
+#ifndef TPS_SERVE_SERVER_H_
+#define TPS_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+#include "util/socket.h"
+#include "util/statusor.h"
+
+namespace tps {
+namespace serve {
+
+/// Where the server listens. At least one endpoint must be enabled; both
+/// may be (the same service answers on each).
+struct ServerOptions {
+  /// Unix-domain socket path; empty disables the Unix endpoint.
+  std::string unix_path;
+  /// TCP port on 127.0.0.1; -1 disables the TCP endpoint, 0 auto-assigns
+  /// (read back via tcp_port()).
+  int tcp_port = -1;
+};
+
+/// NDJSON socket front end for a SelectionService (see protocol.h).
+///
+/// Threading model: one blocking accept-loop thread per endpoint plus one
+/// blocking thread per live connection — no readiness polling, which keeps
+/// the stack simple and sanitizer-clean. Selects are routed through
+/// SelectionService::Submit, so socket traffic is subject to the same
+/// admission control and deadlines as embedded callers; ping/stats answer
+/// inline.
+///
+/// Lifecycle: Start() binds and begins accepting. Wait() parks the owning
+/// thread until a client sends `{"cmd":"shutdown"}` or Shutdown() is called
+/// from another thread. Shutdown() (idempotent; also run by the destructor)
+/// stops accepting, unblocks every connection with ::shutdown, and joins
+/// all threads. The service outlives the server and is not owned by it.
+class SelectionServer {
+ public:
+  static StatusOr<std::unique_ptr<SelectionServer>> Start(
+      SelectionService* service, const ServerOptions& options);
+
+  ~SelectionServer();
+
+  SelectionServer(const SelectionServer&) = delete;
+  SelectionServer& operator=(const SelectionServer&) = delete;
+
+  /// Actual TCP port (meaningful when the TCP endpoint is enabled;
+  /// resolves port 0 auto-assignment). 0 when TCP is disabled.
+  int tcp_port() const { return tcp_port_; }
+  const std::string& unix_path() const { return unix_path_; }
+
+  /// Blocks until shutdown is requested (wire command or Shutdown()).
+  void Wait();
+
+  /// Stops accepting, disconnects all clients, joins all threads. Safe to
+  /// call from any thread except a connection handler (handlers request
+  /// shutdown instead; the thread parked in Wait() — or the destructor —
+  /// performs the join).
+  void Shutdown();
+
+ private:
+  SelectionServer(SelectionService* service, std::vector<ServerSocket> listeners);
+
+  void AcceptLoop(ServerSocket* listener);
+  void HandleConnection(std::shared_ptr<Socket> socket);
+  /// Flags shutdown and unblocks Wait()/Accept() without joining (callable
+  /// from a connection handler).
+  void RequestShutdown();
+
+  SelectionService* const service_;
+  std::vector<ServerSocket> listeners_;
+  int tcp_port_ = 0;
+  std::string unix_path_;
+
+  std::mutex mu_;
+  std::condition_variable stopped_cv_;
+  bool stopping_ = false;
+  bool joined_ = false;
+  std::vector<std::thread> accept_threads_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<std::shared_ptr<Socket>> connections_;
+};
+
+}  // namespace serve
+}  // namespace tps
+
+#endif  // TPS_SERVE_SERVER_H_

@@ -1,0 +1,198 @@
+#ifndef TPS_SERVE_SERVICE_H_
+#define TPS_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cancellation.h"
+#include "core/selection_trace.h"
+#include "core/two_phase.h"
+#include "serve/artifacts.h"
+#include "sim/finetune_simulator.h"
+#include "transfer/score_cache.h"
+#include "util/metrics.h"
+#include "util/statusor.h"
+#include "util/thread_pool.h"
+
+namespace tps {
+namespace serve {
+
+/// Tuning knobs for one SelectionService ("Serving" in DESIGN.md).
+struct ServiceOptions {
+  /// Request worker threads draining the admission queue (Submit path).
+  /// 0 is valid: Submit then queues without ever draining — only useful
+  /// for tests that drive the queue by hand via Handle.
+  int worker_threads = 2;
+  /// Bounded queue capacity. A Submit that finds the queue full is
+  /// rejected immediately with an Unavailable response (explicit
+  /// backpressure), never blocked.
+  size_t max_queue = 64;
+  /// Inner pipeline parallelism: > 1 creates one shared ThreadPool that
+  /// all requests' recall/fine fan-outs run on. 1 = serial pipeline.
+  int pipeline_threads = 1;
+  /// Proxy-score cache entries shared by all requests; 0 disables the
+  /// cache.
+  size_t cache_capacity = 4096;
+  /// Default per-request deadline in milliseconds; 0 = no deadline.
+  /// Requests may override per call.
+  double default_deadline_ms = 0.0;
+  /// Metrics sink; nullptr -> MetricsRegistry::Default().
+  MetricsRegistry* metrics = nullptr;
+  /// Test-only hook: invoked by a worker thread immediately before it
+  /// starts processing a dequeued request. Lets tests hold a worker on a
+  /// latch to fill the queue deterministically. Never set in production.
+  std::function<void()> pre_handle_hook;
+};
+
+/// One selection query.
+struct SelectionRequest {
+  std::string target;           // Dataset name, e.g. "mnli".
+  size_t top_k = 10;            // Recall size handed to fine selection.
+  double threshold = 0.0;       // Fine-filter threshold.
+  std::string proxy = "leep";   // Single proxy scorer.
+  std::vector<std::string> proxies;  // Multi-proxy override (may be empty).
+  /// Per-request deadline in ms, measured from admission (Submit) or from
+  /// Handle entry; <= 0 uses the service default; 0 default = none.
+  double deadline_ms = 0.0;
+  /// When true the response carries the full SelectionTrace.
+  bool want_trace = false;
+};
+
+/// One selection answer. `status` is OK on success; on failure every other
+/// field except `target` is default-initialized (no partial results).
+struct SelectionResponse {
+  Status status;
+  std::string target;
+  std::string selected_model;
+  double selected_accuracy = 0.0;
+  double training_epochs = 0.0;
+  double inference_epochs = 0.0;
+  double total_epochs = 0.0;
+  std::vector<size_t> survivors_per_stage;
+  /// Wall time spent inside the pipeline (excludes queue wait).
+  double wall_ms = 0.0;
+  /// Cache hits/misses recorded by this request's recall phase.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  bool has_trace = false;
+  SelectionTrace trace;
+  /// Full pipeline report (recall ranking, outcome, budget) for embedded
+  /// callers that need more than the summary fields (e.g. markdown report
+  /// rendering). Never serialized onto the wire.
+  TwoPhaseReport report;
+};
+
+/// Point-in-time service counters (the `stats` wire command and tests).
+struct ServiceStats {
+  size_t queue_depth = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t errors = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  size_t cache_entries = 0;
+};
+
+/// The embeddable serving layer: owns the loaded artifacts, the shared
+/// pipeline ThreadPool, the proxy-score cache, and a bounded request queue
+/// with admission control, and answers many concurrent selection requests
+/// without reloading anything.
+///
+/// Two entry points:
+///  - Handle(): synchronous, runs the pipeline on the calling thread.
+///    Thread-safe — any number of callers may Handle concurrently; they
+///    share the cache and pool. Used by `tps_cli select` and tests.
+///  - Submit(): admission-controlled. The request either takes a queue
+///    slot (drained by worker threads) or is rejected immediately with an
+///    Unavailable response. Deadlines start at admission, so time spent
+///    queued counts against them. Used by the socket front end.
+///
+/// Shutdown: the destructor stops the workers; requests still queued are
+/// answered with Unavailable("service shutting down") rather than dropped.
+///
+/// Metrics (prefix `serve.`): requests/admitted/rejected/completed/
+/// deadline_exceeded/errors counters, queue_depth gauge (current + peak),
+/// request_latency_us + queue_wait_us histograms; plus the cache's own
+/// proxy_cache.* instruments.
+class SelectionService {
+ public:
+  static StatusOr<std::unique_ptr<SelectionService>> Create(
+      ServiceArtifacts artifacts, const ServiceOptions& options);
+
+  ~SelectionService();
+
+  SelectionService(const SelectionService&) = delete;
+  SelectionService& operator=(const SelectionService&) = delete;
+
+  /// Runs one request synchronously on the calling thread. Never queues.
+  SelectionResponse Handle(const SelectionRequest& request);
+
+  /// Admission control: queue the request or reject it now. The returned
+  /// future always resolves (Unavailable on rejection/shutdown,
+  /// DeadlineExceeded if it expired in the queue, the pipeline's answer
+  /// otherwise).
+  std::future<SelectionResponse> Submit(SelectionRequest request);
+
+  ServiceStats Stats() const;
+
+  const ServiceArtifacts& artifacts() const { return artifacts_; }
+  ProxyScoreCache* cache() { return cache_.get(); }
+  size_t queue_depth() const;
+
+ private:
+  struct QueuedRequest {
+    SelectionRequest request;
+    std::promise<SelectionResponse> promise;
+    /// Deadline armed at admission (null when the request has none).
+    std::shared_ptr<CancelToken> token;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  SelectionService(ServiceArtifacts artifacts, const ServiceOptions& options);
+
+  /// Core pipeline: resolve target, build TwoPhaseOptions (cache, cancel,
+  /// trace), run the selector, fill the response. `token` may be null.
+  SelectionResponse Run(const SelectionRequest& request,
+                        const CancelToken* token);
+
+  void WorkerLoop();
+
+  const ServiceArtifacts artifacts_;
+  const ServiceOptions options_;
+  MetricsRegistry* const metrics_;
+  FineTuneSimulator simulator_;
+  TwoPhaseSelector selector_;
+  std::unique_ptr<ThreadPool> pool_;      // Null when pipeline_threads == 1.
+  std::unique_ptr<ProxyScoreCache> cache_;  // Null when capacity == 0.
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_ready_;
+  std::deque<QueuedRequest> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+
+  // Local stats mirrors (exact reads for Stats() independent of the
+  // registry).
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> errors_{0};
+};
+
+}  // namespace serve
+}  // namespace tps
+
+#endif  // TPS_SERVE_SERVICE_H_

@@ -1,0 +1,129 @@
+#ifndef TPS_TRANSFER_SCORE_CACHE_H_
+#define TPS_TRANSFER_SCORE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "model/pretrained_model.h"
+#include "transfer/proxy_scorer.h"
+#include "util/metrics.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+/// Stable identity of a (simulated) dataset for cache keying. Mixes every
+/// spec field that feeds example generation (name-derived seed, domain,
+/// label space, example count, difficulty, chance/ceiling overrides, tags)
+/// so two datasets produce the same fingerprint iff they generate the same
+/// examples. Deterministic across processes and platforms (FNV-1a over a
+/// canonical serialization; no pointers, no ASLR).
+uint64_t DatasetFingerprint(const Dataset& dataset);
+
+/// Cache key: which proxy number is this? One entry per (target dataset,
+/// model, scorer kind) triple.
+struct ProxyCacheKey {
+  uint64_t dataset_fingerprint = 0;
+  std::string model;   // PretrainedModel name (unique within a zoo).
+  std::string scorer;  // ProxyScorer::name(): "leep", "nce", ...
+
+  bool operator==(const ProxyCacheKey& other) const {
+    return dataset_fingerprint == other.dataset_fingerprint &&
+           model == other.model && scorer == other.scorer;
+  }
+};
+
+struct ProxyCacheKeyHash {
+  size_t operator()(const ProxyCacheKey& key) const;
+};
+
+/// Thread-safe LRU cache of proxy scores ("Serving" in DESIGN.md).
+///
+/// Inertness contract: proxy scores are pure functions of (dataset, model,
+/// scorer), so serving a cached double is bit-identical to recomputing it —
+/// tests/serve/cache_inertness_test.cc proves cache-on == cache-off for
+/// whole selection reports, serial and parallel. Only successful scores
+/// are cached; Status errors always propagate live.
+///
+/// Eviction is strict LRU over a doubly-linked list guarded by one mutex,
+/// so the eviction order is a deterministic function of the access
+/// sequence (tests/serve/score_cache_test.cc pins it).
+///
+/// Observability: hit/miss/eviction counters and an entry gauge are
+/// reported both to the MetricsRegistry passed at construction
+/// (`proxy_cache.hits` / `.misses` / `.evictions` / `.entries`) and to
+/// local atomics exposed as accessors, so tests and the serve stats
+/// endpoint read exact values without scraping the global registry.
+class ProxyScoreCache {
+ public:
+  /// `capacity` is the maximum number of entries; 0 disables caching
+  /// entirely (every lookup misses, nothing is stored). `metrics` defaults
+  /// to MetricsRegistry::Default().
+  explicit ProxyScoreCache(size_t capacity,
+                           MetricsRegistry* metrics = nullptr);
+
+  ProxyScoreCache(const ProxyScoreCache&) = delete;
+  ProxyScoreCache& operator=(const ProxyScoreCache&) = delete;
+
+  /// Returns the cached score and refreshes recency, or nullopt on miss.
+  std::optional<double> Lookup(const ProxyCacheKey& key);
+
+  /// Inserts (or refreshes) a score, evicting the least-recently-used
+  /// entry when at capacity. No-op when capacity is 0.
+  void Insert(const ProxyCacheKey& key, double score);
+
+  /// The seam used by coarse recall: cache hit, or compute via
+  /// `scorer.Score(model, target)` and cache the successful result.
+  StatusOr<double> GetOrCompute(const ProxyScorer& scorer,
+                                const PretrainedModel& model,
+                                const Dataset& target);
+
+  /// Drops every entry (counters are retained).
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Keys in most- to least-recently-used order (for eviction-order
+  /// tests and the serve stats endpoint).
+  std::vector<ProxyCacheKey> KeysByRecency() const;
+
+ private:
+  using Entry = std::pair<ProxyCacheKey, double>;
+
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // Front = most recent.
+  std::unordered_map<ProxyCacheKey, std::list<Entry>::iterator,
+                     ProxyCacheKeyHash>
+      index_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+
+  // Registry instruments, resolved once at construction.
+  Counter& hit_counter_;
+  Counter& miss_counter_;
+  Counter& eviction_counter_;
+  Gauge& entries_gauge_;
+};
+
+}  // namespace tps
+
+#endif  // TPS_TRANSFER_SCORE_CACHE_H_

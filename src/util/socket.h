@@ -1,0 +1,104 @@
+#ifndef TPS_UTIL_SOCKET_H_
+#define TPS_UTIL_SOCKET_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/statusor.h"
+
+namespace tps {
+
+/// Thin RAII wrappers over POSIX stream sockets for the serving front end
+/// ("Serving" in DESIGN.md). Deliberately blocking: the server dedicates a
+/// thread per connection and unblocks Accept/Recv with ::shutdown(), which
+/// keeps the whole stack TSan-clean without readiness polling.
+
+/// One connected stream socket (Unix-domain or TCP). Move-only; closes on
+/// destruction.
+class Socket {
+ public:
+  Socket() = default;
+  /// Takes ownership of `fd` (-1 = empty).
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes all of `data`, looping over partial writes and EINTR.
+  Status SendAll(std::string_view data);
+
+  /// Reads up to and including the next '\n', consuming from `buffer`
+  /// first (bytes read past a previous line are left there). Returns the
+  /// line WITHOUT the trailing newline. An empty optional-style contract
+  /// is not needed: a clean EOF before any byte of a new line returns
+  /// kOutOfRange("connection closed"); EOF mid-line returns the partial
+  /// line as-is.
+  StatusOr<std::string> RecvLine(std::string* buffer);
+
+  /// Half-closes both directions (unblocks a peer or a blocked reader on
+  /// this socket) without releasing the fd.
+  void ShutdownBoth();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket, Unix-domain or TCP (IPv4 loopback).
+class ServerSocket {
+ public:
+  /// Binds and listens on a Unix-domain socket at `path`. An existing
+  /// socket file at `path` is removed first (stale leftover from a crashed
+  /// server); a non-socket file is an error.
+  static StatusOr<ServerSocket> ListenUnix(const std::string& path);
+
+  /// Binds and listens on 127.0.0.1:`port`. port 0 picks a free port;
+  /// port() reports the actual one.
+  static StatusOr<ServerSocket> ListenTcp(int port);
+
+  ServerSocket() = default;
+  ~ServerSocket() { Close(); }
+  ServerSocket(const ServerSocket&) = delete;
+  ServerSocket& operator=(const ServerSocket&) = delete;
+  ServerSocket(ServerSocket&& other) noexcept;
+  ServerSocket& operator=(ServerSocket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int port() const { return port_; }
+  const std::string& unix_path() const { return unix_path_; }
+
+  /// Blocks until a client connects. After Shutdown() (from any thread)
+  /// the pending and all future calls return kUnavailable.
+  StatusOr<Socket> Accept();
+
+  /// Unblocks any thread parked in Accept(). Idempotent; does not close
+  /// the fd (the destructor / Close does, removing the Unix socket file).
+  void Shutdown();
+
+  void Close();
+
+ private:
+  ServerSocket(int fd, int port, std::string unix_path)
+      : fd_(fd), port_(port), unix_path_(std::move(unix_path)) {}
+
+  int fd_ = -1;
+  int port_ = 0;
+  std::string unix_path_;
+};
+
+/// Connects to a Unix-domain socket at `path`.
+StatusOr<Socket> ConnectUnix(const std::string& path);
+
+/// Connects to 127.0.0.1:`port`.
+StatusOr<Socket> ConnectTcp(int port);
+
+}  // namespace tps
+
+#endif  // TPS_UTIL_SOCKET_H_

@@ -21,6 +21,8 @@ enum class StatusCode : int {
   kInternal = 6,
   kUnimplemented = 7,
   kIOError = 8,
+  kDeadlineExceeded = 9,
+  kUnavailable = 10,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -81,6 +83,12 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -98,6 +106,10 @@ class Status {
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

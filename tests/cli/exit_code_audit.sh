@@ -100,6 +100,28 @@ expect 1 "baselines with unknown target" -- \
   baselines --domain=nlp --target=no-such-dataset
 require_stderr_contains "error:" "baselines with unknown target"
 
+### Serving subcommands: flag validation fails before anything listens.
+
+expect 1 "serve without endpoint" -- serve --domain=nlp
+require_stderr_contains "error:" "serve without endpoint"
+require_stdout_empty "serve without endpoint"
+
+expect 1 "serve with zero workers" -- serve --socket="$SCRATCH/s.sock" \
+  --workers=0
+require_stderr_contains "error:" "serve with zero workers"
+
+expect 1 "serve with negative cache" -- serve --socket="$SCRATCH/s.sock" \
+  --cache=-1
+require_stderr_contains "error:" "serve with negative cache"
+
+expect 1 "query without endpoint" -- query --cmd=ping
+require_stderr_contains "error:" "query without endpoint"
+require_stdout_empty "query without endpoint"
+
+expect 1 "query against dead socket" -- \
+  query --socket="$SCRATCH/never_bound.sock" --cmd=ping
+require_stderr_contains "error:" "query against dead socket"
+
 ### Success paths: exit 0. Build the offline artifacts once, then exercise
 ### the commands that need them.
 
@@ -119,6 +141,30 @@ expect 1 "select with unknown target" -- select --domain=nlp \
   --matrix="$SCRATCH/m.txt" --clustering="$SCRATCH/c.txt" \
   --target=no-such-dataset
 require_stderr_contains "error:" "select with unknown target"
+
+### select via the in-process SelectionService: --repeat/--targets reuse
+### loaded artifacts and report cache totals.
+
+expect 0 "select with repeat" -- select "${ARTIFACTS[@]}" --repeat=2
+if ! grep -q "served 2 requests; proxy cache:" "$STDOUT"; then
+  echo "FAIL: select --repeat=2 did not print the served-requests line" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+
+expect 0 "select with target list" -- select --domain=nlp \
+  --matrix="$SCRATCH/m.txt" --clustering="$SCRATCH/c.txt" \
+  --targets=mnli,boolq
+if ! grep -q "served 2 requests" "$STDOUT"; then
+  echo "FAIL: select --targets=a,b did not serve both" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+
+expect 1 "select with zero repeat" -- select "${ARTIFACTS[@]}" --repeat=0
+require_stderr_contains "error:" "select with zero repeat"
+
+expect 1 "select repeat with trace" -- select "${ARTIFACTS[@]}" --repeat=2 \
+  --trace="$SCRATCH/multi_trace.json"
+require_stderr_contains "error:" "select repeat with trace"
 
 ### --trace on select needs a path; bare --trace must fail loudly instead
 ### of mixing trace JSON into the human-readable report.

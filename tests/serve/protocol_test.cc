@@ -1,0 +1,256 @@
+// NDJSON wire protocol round-trips, malformed-input rejection, and Status
+// code transport. The protocol is the contract between tps_serve and any
+// client, so every branch of the parser gets pinned here.
+
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace tps {
+namespace serve {
+namespace {
+
+TEST(ParseRequestLineTest, MinimalSelect) {
+  auto request = ParseRequestLine(R"({"target": "mnli"})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->command, WireCommand::kSelect);
+  EXPECT_EQ(request->select.target, "mnli");
+  // Defaults survive when fields are absent.
+  EXPECT_EQ(request->select.top_k, 10u);
+  EXPECT_EQ(request->select.threshold, 0.0);
+  EXPECT_EQ(request->select.proxy, "leep");
+  EXPECT_TRUE(request->select.proxies.empty());
+  EXPECT_EQ(request->select.deadline_ms, 0.0);
+  EXPECT_FALSE(request->select.want_trace);
+}
+
+TEST(ParseRequestLineTest, FullSelect) {
+  auto request = ParseRequestLine(
+      R"({"target": "boolq", "k": 5, "threshold": 0.4, "proxy": "nce",)"
+      R"( "proxies": ["leep", "nce"], "deadline_ms": 250.5, "trace": true})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->select.target, "boolq");
+  EXPECT_EQ(request->select.top_k, 5u);
+  EXPECT_EQ(request->select.threshold, 0.4);
+  EXPECT_EQ(request->select.proxy, "nce");
+  ASSERT_EQ(request->select.proxies.size(), 2u);
+  EXPECT_EQ(request->select.proxies[0], "leep");
+  EXPECT_EQ(request->select.proxies[1], "nce");
+  EXPECT_EQ(request->select.deadline_ms, 250.5);
+  EXPECT_TRUE(request->select.want_trace);
+}
+
+TEST(ParseRequestLineTest, Commands) {
+  EXPECT_EQ(ParseRequestLine(R"({"cmd": "ping"})")->command,
+            WireCommand::kPing);
+  EXPECT_EQ(ParseRequestLine(R"({"cmd": "stats"})")->command,
+            WireCommand::kStats);
+  EXPECT_EQ(ParseRequestLine(R"({"cmd": "shutdown"})")->command,
+            WireCommand::kShutdown);
+  EXPECT_FALSE(ParseRequestLine(R"({"cmd": "reboot"})").ok());
+}
+
+TEST(ParseRequestLineTest, MalformedInputRejected) {
+  // Each of these must fail with InvalidArgument, never crash or accept.
+  const char* bad[] = {
+      "",                                  // Empty line.
+      "not json at all",                   // Not JSON.
+      "[1, 2, 3]",                         // Not an object.
+      R"("just a string")",                // Not an object.
+      "{}",                                // Select with no target.
+      R"({"target": ""})",                 // Empty target.
+      R"({"target": 42})",                 // Wrong type.
+      R"({"target": "mnli", "k": 0})",     // k must be >= 1.
+      R"({"target": "mnli", "k": -3})",    // Negative k.
+      R"({"target": "mnli", "k": "x"})",   // Wrong type.
+      R"({"target": "mnli", "threshold": -0.5})",    // Negative threshold.
+      R"({"target": "mnli", "deadline_ms": -1})",    // Negative deadline.
+      R"({"target": "mnli", "proxies": "leep"})",    // Not an array.
+      R"({"target": "mnli", "proxies": [1, 2]})",    // Non-string entries.
+      R"({"target": "mnli", "trace": "yes"})",       // Non-bool trace.
+      R"({"cmd": 7})",                     // Non-string cmd.
+  };
+  for (const char* line : bad) {
+    auto request = ParseRequestLine(line);
+    EXPECT_FALSE(request.ok()) << "accepted: " << line;
+    if (!request.ok()) {
+      EXPECT_TRUE(request.status().IsInvalidArgument()) << line;
+    }
+  }
+}
+
+TEST(ParseRequestLineTest, UnknownKeysIgnored) {
+  auto request = ParseRequestLine(
+      R"({"target": "mnli", "future_field": {"a": 1}, "v": 2})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->select.target, "mnli");
+}
+
+TEST(RequestRoundTripTest, SelectSurvivesSerializeParse) {
+  SelectionRequest request;
+  request.target = "tweet_eval";
+  request.top_k = 7;
+  request.threshold = 0.25;
+  request.proxy = "logme";
+  request.proxies = {"leep", "knn"};
+  request.deadline_ms = 1500.0;
+  request.want_trace = true;
+
+  auto parsed = ParseRequestLine(RequestToLine(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->command, WireCommand::kSelect);
+  EXPECT_EQ(parsed->select.target, request.target);
+  EXPECT_EQ(parsed->select.top_k, request.top_k);
+  EXPECT_EQ(parsed->select.threshold, request.threshold);
+  EXPECT_EQ(parsed->select.proxy, request.proxy);
+  EXPECT_EQ(parsed->select.proxies, request.proxies);
+  EXPECT_EQ(parsed->select.deadline_ms, request.deadline_ms);
+  EXPECT_EQ(parsed->select.want_trace, request.want_trace);
+}
+
+TEST(ResponseRoundTripTest, SuccessSurvivesSerializeParse) {
+  SelectionResponse response;
+  response.status = Status::OK();
+  response.target = "mnli";
+  response.selected_model = "bert-large";
+  response.selected_accuracy = 0.8375;
+  response.training_epochs = 17.0;
+  response.inference_epochs = 3.5;
+  response.total_epochs = 20.5;
+  response.survivors_per_stage = {10, 5, 2, 1};
+  response.wall_ms = 1.25;
+  response.cache_hits = 7;
+  response.cache_misses = 3;
+
+  const std::string line = ResponseToLine(response);
+  // One line per reply: the framing newline is added by the transport.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+
+  auto parsed = ParseResponseLine(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->status.ok());
+  EXPECT_EQ(parsed->target, response.target);
+  EXPECT_EQ(parsed->selected_model, response.selected_model);
+  EXPECT_EQ(parsed->selected_accuracy, response.selected_accuracy);
+  EXPECT_EQ(parsed->training_epochs, response.training_epochs);
+  EXPECT_EQ(parsed->inference_epochs, response.inference_epochs);
+  EXPECT_EQ(parsed->total_epochs, response.total_epochs);
+  EXPECT_EQ(parsed->survivors_per_stage, response.survivors_per_stage);
+  EXPECT_EQ(parsed->wall_ms, response.wall_ms);
+  EXPECT_EQ(parsed->cache_hits, response.cache_hits);
+  EXPECT_EQ(parsed->cache_misses, response.cache_misses);
+  EXPECT_FALSE(parsed->has_trace);
+}
+
+TEST(ResponseRoundTripTest, ErrorTransportsStatusCode) {
+  SelectionResponse response;
+  response.status = Status::NotFound("unknown dataset 'xyz'");
+  response.target = "xyz";
+  const std::string line = ResponseToLine(response);
+  // Error form is {"ok":false,...} with the code name.
+  EXPECT_NE(line.find(R"("ok":false)"), std::string::npos);
+  EXPECT_NE(line.find("NotFound"), std::string::npos);
+
+  // The client surfaces the transported error as the call's own Status.
+  auto parsed = ParseResponseLine(line);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsNotFound());
+  EXPECT_NE(parsed.status().message().find("unknown dataset"),
+            std::string::npos);
+}
+
+TEST(ResponseRoundTripTest, EveryCodeNameRestores) {
+  const Status statuses[] = {
+      Status::InvalidArgument("a"), Status::NotFound("b"),
+      Status::AlreadyExists("c"),   Status::OutOfRange("d"),
+      Status::FailedPrecondition("e"), Status::Internal("f"),
+      Status::Unimplemented("g"),   Status::IOError("h"),
+      Status::DeadlineExceeded("i"), Status::Unavailable("j"),
+  };
+  for (const Status& status : statuses) {
+    auto parsed = ParseResponseLine(ErrorToLine(status));
+    ASSERT_FALSE(parsed.ok()) << status.ToString();
+    EXPECT_EQ(parsed.status().code(), status.code()) << status.ToString();
+    EXPECT_EQ(parsed.status().message(), status.message());
+  }
+}
+
+TEST(ResponseRoundTripTest, TraceEmbedsAsJsonNotString) {
+  SelectionResponse response;
+  response.status = Status::OK();
+  response.target = "mnli";
+  response.selected_model = "m";
+  response.has_trace = true;
+  response.trace.target = "mnli";
+
+  const std::string line = ResponseToLine(response);
+  auto doc = json::Parse(line);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const json::Value* trace = doc->Find("trace");
+  ASSERT_NE(trace, nullptr);
+  // The trace is a JSON object spliced into the reply, not an escaped
+  // string blob.
+  ASSERT_TRUE(trace->is_object());
+
+  auto parsed = ParseResponseLine(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->has_trace);
+  EXPECT_EQ(parsed->trace.target, "mnli");
+}
+
+TEST(ControlLinesTest, PingStatsShutdown) {
+  auto pong = json::Parse(PongLine());
+  ASSERT_TRUE(pong.ok());
+  EXPECT_TRUE(*pong->GetBool("ok"));
+  EXPECT_TRUE(*pong->GetBool("pong"));
+
+  ServiceStats stats;
+  stats.queue_depth = 3;
+  stats.admitted = 10;
+  stats.rejected = 2;
+  stats.completed = 7;
+  stats.deadline_exceeded = 1;
+  stats.errors = 4;
+  stats.cache_hits = 100;
+  stats.cache_misses = 50;
+  stats.cache_evictions = 5;
+  stats.cache_entries = 45;
+  auto parsed = json::Parse(StatsToLine(stats));
+  ASSERT_TRUE(parsed.ok());
+  const json::Value* object = parsed->Find("stats");
+  ASSERT_NE(object, nullptr);
+  EXPECT_EQ(*object->GetNumber("queue_depth"), 3.0);
+  EXPECT_EQ(*object->GetNumber("admitted"), 10.0);
+  EXPECT_EQ(*object->GetNumber("rejected"), 2.0);
+  EXPECT_EQ(*object->GetNumber("completed"), 7.0);
+  EXPECT_EQ(*object->GetNumber("deadline_exceeded"), 1.0);
+  EXPECT_EQ(*object->GetNumber("errors"), 4.0);
+  EXPECT_EQ(*object->GetNumber("cache_hits"), 100.0);
+  EXPECT_EQ(*object->GetNumber("cache_misses"), 50.0);
+  EXPECT_EQ(*object->GetNumber("cache_evictions"), 5.0);
+  EXPECT_EQ(*object->GetNumber("cache_entries"), 45.0);
+
+  auto ack = json::Parse(ShutdownAckLine());
+  ASSERT_TRUE(ack.ok());
+  EXPECT_TRUE(*ack->GetBool("shutting_down"));
+}
+
+TEST(ParseResponseLineTest, MalformedReplyRejected) {
+  EXPECT_FALSE(ParseResponseLine("").ok());
+  EXPECT_FALSE(ParseResponseLine("garbage").ok());
+  EXPECT_FALSE(ParseResponseLine("[]").ok());
+  // Missing "ok" key.
+  EXPECT_FALSE(ParseResponseLine(R"({"target": "mnli"})").ok());
+  // Unknown code name falls back to Internal rather than crashing or
+  // silently reading as OK.
+  auto unknown = ParseResponseLine(
+      R"({"ok": false, "code": "NoSuchCode", "error": "x"})");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace tps

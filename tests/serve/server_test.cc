@@ -1,0 +1,228 @@
+// End-to-end: SelectionServer + SelectionService over real sockets, the
+// full NDJSON session lifecycle — connect, select, errors that keep the
+// session open, stats, and the shutdown command.
+
+#include "serve/server.h"
+
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.h"
+#include "util/json.h"
+#include "util/socket.h"
+
+namespace tps {
+namespace serve {
+namespace {
+
+class SelectionServerTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    artifacts_ = new ServiceArtifacts(
+        *ServiceArtifacts::Build(TaskDomain::kNLP));
+  }
+
+  void SetUp() override {
+    ServiceOptions options;
+    options.worker_threads = 2;
+    options.metrics = &metrics_;
+    auto service_or = SelectionService::Create(*artifacts_, options);
+    ASSERT_TRUE(service_or.ok()) << service_or.status().ToString();
+    service_ = std::move(*service_or);
+  }
+
+  std::string SocketPath(const std::string& tag) {
+    return testing::TempDir() + "/tps_server_test_" + tag + "_" +
+           std::to_string(::getpid()) + ".sock";
+  }
+
+  std::unique_ptr<SelectionServer> StartUnix(const std::string& path) {
+    ServerOptions options;
+    options.unix_path = path;
+    auto server_or = SelectionServer::Start(service_.get(), options);
+    EXPECT_TRUE(server_or.ok()) << server_or.status().ToString();
+    return std::move(*server_or);
+  }
+
+  /// One request/reply exchange on an open connection.
+  static std::string Exchange(Socket& socket, std::string* buffer,
+                              const std::string& line) {
+    EXPECT_TRUE(socket.SendAll(line + "\n").ok());
+    auto reply = socket.RecvLine(buffer);
+    EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+    return reply.ok() ? *reply : "";
+  }
+
+  static ServiceArtifacts* artifacts_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<SelectionService> service_;
+};
+
+ServiceArtifacts* SelectionServerTest::artifacts_ = nullptr;
+
+TEST_F(SelectionServerTest, StartValidatesArguments) {
+  ServerOptions options;
+  options.unix_path = SocketPath("null_service");
+  EXPECT_FALSE(SelectionServer::Start(nullptr, options).ok());
+  // No endpoint at all.
+  EXPECT_FALSE(SelectionServer::Start(service_.get(), ServerOptions()).ok());
+}
+
+TEST_F(SelectionServerTest, FullSessionOverUnixSocket) {
+  const std::string path = SocketPath("session");
+  auto server = StartUnix(path);
+  ASSERT_NE(server, nullptr);
+
+  auto client = ConnectUnix(path);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  std::string buffer;
+
+  // Ping.
+  EXPECT_EQ(Exchange(*client, &buffer, R"({"cmd": "ping"})"), PongLine());
+
+  // Cold select: misses, no hits.
+  auto cold = ParseResponseLine(
+      Exchange(*client, &buffer, R"({"target": "mnli"})"));
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_TRUE(cold->status.ok()) << cold->status.ToString();
+  EXPECT_EQ(cold->target, "mnli");
+  EXPECT_FALSE(cold->selected_model.empty());
+  EXPECT_GT(cold->cache_misses, 0u);
+  EXPECT_EQ(cold->cache_hits, 0u);
+
+  // A bad line gets an error reply but the session stays open.
+  auto error = ParseResponseLine(Exchange(*client, &buffer, "not json"));
+  EXPECT_TRUE(error.status().IsInvalidArgument())
+      << error.status().ToString();
+  auto missing = ParseResponseLine(
+      Exchange(*client, &buffer, R"({"target": "no-such-dataset"})"));
+  EXPECT_TRUE(missing.status().IsNotFound()) << missing.status().ToString();
+
+  // Warm select on the same (still-open) connection: hits, same answer.
+  auto warm = ParseResponseLine(
+      Exchange(*client, &buffer, R"({"target": "mnli", "trace": true})"));
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm->status.ok());
+  EXPECT_EQ(warm->selected_model, cold->selected_model);
+  EXPECT_EQ(warm->selected_accuracy, cold->selected_accuracy);
+  EXPECT_GT(warm->cache_hits, 0u);
+  EXPECT_TRUE(warm->has_trace);
+
+  // Stats reflect the session so far.
+  auto stats = json::Parse(Exchange(*client, &buffer, R"({"cmd": "stats"})"));
+  ASSERT_TRUE(stats.ok());
+  const json::Value* inner = stats->Find("stats");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(*inner->GetNumber("completed"), 2.0);
+  EXPECT_EQ(*inner->GetNumber("errors"), 1.0);  // The NotFound select.
+
+  // Shutdown: ack arrives, then the server drains and Wait() returns.
+  EXPECT_EQ(Exchange(*client, &buffer, R"({"cmd": "shutdown"})"),
+            ShutdownAckLine());
+  server->Wait();
+  server->Shutdown();
+  // The unix socket file is gone once the listener closed.
+  EXPECT_FALSE(ConnectUnix(path).ok());
+}
+
+TEST_F(SelectionServerTest, EmptyLinesAreIgnored) {
+  const std::string path = SocketPath("empty_lines");
+  auto server = StartUnix(path);
+  ASSERT_NE(server, nullptr);
+  auto client = ConnectUnix(path);
+  ASSERT_TRUE(client.ok());
+  std::string buffer;
+  // Blank lines produce no reply; the next real command still works.
+  ASSERT_TRUE(client->SendAll("\n\n").ok());
+  EXPECT_EQ(Exchange(*client, &buffer, R"({"cmd": "ping"})"), PongLine());
+  server->Shutdown();
+}
+
+TEST_F(SelectionServerTest, ConcurrentConnectionsShareTheCache) {
+  const std::string path = SocketPath("concurrent");
+  auto server = StartUnix(path);
+  ASSERT_NE(server, nullptr);
+
+  // Warm the cache once so every concurrent client can hit.
+  {
+    auto warmup = ConnectUnix(path);
+    ASSERT_TRUE(warmup.ok());
+    std::string buffer;
+    auto reply = ParseResponseLine(
+        Exchange(*warmup, &buffer, R"({"target": "mnli"})"));
+    ASSERT_TRUE(reply.ok());
+    ASSERT_TRUE(reply->status.ok());
+  }
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  std::vector<std::string> selected(kClients);
+  std::vector<uint64_t> hits(kClients, 0);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      auto client = ConnectUnix(path);
+      ASSERT_TRUE(client.ok());
+      std::string buffer;
+      auto reply = ParseResponseLine(
+          Exchange(*client, &buffer, R"({"target": "mnli"})"));
+      ASSERT_TRUE(reply.ok());
+      ASSERT_TRUE(reply->status.ok()) << reply->status.ToString();
+      selected[i] = reply->selected_model;
+      hits[i] = reply->cache_hits;
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  for (int i = 1; i < kClients; ++i) {
+    EXPECT_EQ(selected[i], selected[0]);
+  }
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_GT(hits[i], 0u) << "client " << i << " missed a warm cache";
+  }
+  server->Shutdown();
+  EXPECT_EQ(service_->Stats().completed, 1u + kClients);
+}
+
+TEST_F(SelectionServerTest, TcpEndpointServes) {
+  ServerOptions options;
+  options.tcp_port = 0;  // Auto-assign.
+  auto server_or = SelectionServer::Start(service_.get(), options);
+  ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
+  auto& server = *server_or;
+  ASSERT_GT(server->tcp_port(), 0);
+
+  auto client = ConnectTcp(server->tcp_port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  std::string buffer;
+  EXPECT_EQ(Exchange(*client, &buffer, R"({"cmd": "ping"})"), PongLine());
+  auto reply = ParseResponseLine(
+      Exchange(*client, &buffer, R"({"target": "boolq", "k": 5})"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->status.ok()) << reply->status.ToString();
+  EXPECT_FALSE(reply->selected_model.empty());
+  server->Shutdown();
+}
+
+TEST_F(SelectionServerTest, ShutdownWithLiveConnectionUnblocksIt) {
+  const std::string path = SocketPath("live_conn");
+  auto server = StartUnix(path);
+  ASSERT_NE(server, nullptr);
+  auto client = ConnectUnix(path);
+  ASSERT_TRUE(client.ok());
+  std::string buffer;
+  // Prove the connection is established, then leave it idle.
+  EXPECT_EQ(Exchange(*client, &buffer, R"({"cmd": "ping"})"), PongLine());
+  // Shutdown must not hang on the idle connection's parked reader.
+  server->Shutdown();
+  // The peer observes the close as EOF.
+  auto eof = client->RecvLine(&buffer);
+  EXPECT_FALSE(eof.ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace tps

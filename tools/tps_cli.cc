@@ -12,7 +12,12 @@
 //
 //   tps_cli select   --domain=nlp --matrix=m.txt --clustering=c.txt ...
 //                    --target=mnli [--k=10] [--threshold=0.0]
-//       Run the full two-phase selection and print the report.
+//                    [--repeat=N] [--targets=a,b,c] [--cache=4096]
+//                    [--deadline=MS]
+//       Run the full two-phase selection and print the report. Runs
+//       through an in-process SelectionService, so artifacts are loaded
+//       once and --repeat / --targets reuse them (and the proxy-score
+//       cache) across requests.
 //
 //   tps_cli baselines --domain=nlp --target=mnli
 //       Compare brute force / successive halving / fine-selection /
@@ -37,6 +42,20 @@
 //       --out. `select` also accepts --trace=PATH to write the same JSON
 //       alongside its human-readable report.
 //
+//   tps_cli serve    --domain=nlp --store=store.log
+//                    --socket=/tmp/tps.sock | --port=0 [--workers=2]
+//                    [--queue=64] [--threads=1] [--cache=4096]
+//                    [--deadline=MS]
+//       Load the artifacts once and answer NDJSON selection requests over
+//       a Unix/TCP socket until a client sends {"cmd":"shutdown"}. Same as
+//       the standalone `tps_serve` binary.
+//
+//   tps_cli query    --socket=/tmp/tps.sock | --port=N --target=mnli
+//                    [--cmd=select|ping|stats|shutdown] [--k] [--threshold]
+//                    [--proxy|--proxies] [--deadline=MS] [--trace]
+//       Send one request to a running server and print the raw NDJSON
+//       reply. Exit 0 iff the reply says "ok": true.
+//
 // All subcommands are deterministic; no flags are required beyond the ones
 // shown (defaults in brackets). `offline`, `recall` and `select` accept
 // --threads=N (default 1) to fan independent simulator/proxy work over a
@@ -59,6 +78,7 @@
 #include "data/registry.h"
 #include "model/model_card.h"
 #include "model/paper_zoo.h"
+#include "serve/cli_commands.h"
 #include "store/model_store.h"
 #include "util/flags.h"
 #include "util/metrics.h"
@@ -78,7 +98,8 @@ int Fail(const Status& status) {
 int Usage() {
   std::cerr
       << "usage: tps_cli <offline|recall|select|trace|baselines|datasets|"
-         "models|card|store-info|store-compact> [--flags] [--metrics[=PATH]]\n"
+         "models|card|store-info|store-compact|serve|query> [--flags] "
+         "[--metrics[=PATH]]\n"
          "run `head tools/tps_cli.cc` for the full flag reference\n";
   return 2;
 }
@@ -320,54 +341,123 @@ StatusOr<TwoPhaseOptions> TwoPhaseOptionsFromFlags(const FlagParser& flags) {
 }
 
 int RunSelect(const FlagParser& flags) {
-  auto world_or = LoadWorld(flags);
-  if (!world_or.ok()) return Fail(world_or.status());
-  LoadedWorld& world = *world_or;
-  auto target_or = world.registry.Find(flags.GetString("target"));
-  if (!target_or.ok()) return Fail(target_or.status());
+  // Routed through an in-process SelectionService: artifacts load once and
+  // every request in this process (--repeat x --targets) reuses them plus
+  // the shared proxy-score cache.
+  auto paths_or = serve::ArtifactPathsFromFlags(flags);
+  if (!paths_or.ok()) return Fail(paths_or.status());
+  auto artifacts_or = serve::ServiceArtifacts::Load(*paths_or);
+  if (!artifacts_or.ok()) return Fail(artifacts_or.status());
 
-  auto options_or = TwoPhaseOptionsFromFlags(flags);
-  if (!options_or.ok()) return Fail(options_or.status());
-  TwoPhaseOptions options = *options_or;
-  SelectionTrace trace;
-  const std::string trace_path = flags.GetString("trace");
-  if (flags.Has("trace")) options.trace = &trace;
-
-  FineTuneSimulator simulator;
-  TwoPhaseSelector selector(&world.zoo, &world.matrix, &world.clustering,
-                            &simulator);
-  auto report_or = selector.Select(**target_or, options);
-  if (!report_or.ok()) return Fail(report_or.status());
-
-  const TwoPhaseReport& report = *report_or;
-  std::cout << "selected: "
-            << world.zoo.model(report.selection.selected_model).name()
-            << "\naccuracy: " << report.selection.selected_accuracy
-            << "\nsurvivors per epoch:";
-  for (size_t n : report.selection.survivors_per_stage) {
-    std::cout << " " << n;
+  serve::ServiceOptions service_options;
+  service_options.worker_threads = 0;  // Handle() runs on this thread.
+  auto threads_or = ThreadsFromFlag(flags);
+  if (!threads_or.ok()) return Fail(threads_or.status());
+  service_options.pipeline_threads = *threads_or;
+  auto cache_or = flags.GetInt(
+      "cache", static_cast<int64_t>(service_options.cache_capacity));
+  if (!cache_or.ok()) return Fail(cache_or.status());
+  if (*cache_or < 0) {
+    return Fail(Status::InvalidArgument("--cache must be >= 0"));
   }
-  std::cout << "\ncost: " << report.budget.total_epochs()
-            << " epoch-equivalents (" << report.budget.training_epochs()
-            << " training + " << report.budget.inference_epochs()
-            << " proxy)\n";
+  service_options.cache_capacity = static_cast<size_t>(*cache_or);
+  auto deadline_or = flags.GetDouble("deadline", 0.0);
+  if (!deadline_or.ok()) return Fail(deadline_or.status());
+  if (*deadline_or < 0.0) {
+    return Fail(Status::InvalidArgument("--deadline must be >= 0"));
+  }
+  service_options.default_deadline_ms = *deadline_or;
 
+  auto service_or = serve::SelectionService::Create(std::move(*artifacts_or),
+                                                    service_options);
+  if (!service_or.ok()) return Fail(service_or.status());
+  serve::SelectionService& service = **service_or;
+
+  std::vector<std::string> targets = flags.GetList("targets");
+  if (targets.empty()) {
+    const std::string target = flags.GetString("target");
+    if (target.empty()) {
+      return Fail(
+          Status::InvalidArgument("--target or --targets is required"));
+    }
+    targets.push_back(target);
+  }
+  auto repeat_or = flags.GetInt("repeat", 1);
+  if (!repeat_or.ok()) return Fail(repeat_or.status());
+  if (*repeat_or < 1) {
+    return Fail(Status::InvalidArgument("--repeat must be >= 1"));
+  }
+  const size_t repeat = static_cast<size_t>(*repeat_or);
+  const size_t total = targets.size() * repeat;
+
+  const std::string trace_path = flags.GetString("trace");
   const std::string report_path = flags.GetString("report");
+  if (total > 1 && (flags.Has("trace") || !report_path.empty())) {
+    return Fail(Status::InvalidArgument(
+        "--trace/--report apply to a single request; drop --repeat/"
+        "--targets"));
+  }
+
+  serve::SelectionRequest request;
+  auto k_or = flags.GetInt("k", 10);
+  if (!k_or.ok()) return Fail(k_or.status());
+  request.top_k = static_cast<size_t>(*k_or);
+  auto threshold_or = flags.GetDouble("threshold", 0.0);
+  if (!threshold_or.ok()) return Fail(threshold_or.status());
+  request.threshold = *threshold_or;
+  request.proxy = flags.GetString("proxy", "leep");
+  request.proxies = flags.GetList("proxies");
+  request.want_trace = flags.Has("trace");
+
+  serve::SelectionResponse response;
+  for (size_t run = 0; run < repeat; ++run) {
+    for (const std::string& target : targets) {
+      request.target = target;
+      response = service.Handle(request);
+      if (!response.status.ok()) return Fail(response.status);
+      if (total > 1) {
+        std::cout << "[" << target << " run " << (run + 1) << "/" << repeat
+                  << "]\n";
+      }
+      std::cout << "selected: " << response.selected_model
+                << "\naccuracy: " << response.selected_accuracy
+                << "\nsurvivors per epoch:";
+      for (size_t n : response.survivors_per_stage) {
+        std::cout << " " << n;
+      }
+      std::cout << "\ncost: " << response.total_epochs
+                << " epoch-equivalents (" << response.training_epochs
+                << " training + " << response.inference_epochs
+                << " proxy)\n";
+    }
+  }
+  if (total > 1) {
+    const serve::ServiceStats stats = service.Stats();
+    std::cout << "served " << total << " requests; proxy cache: "
+              << stats.cache_hits << " hits, " << stats.cache_misses
+              << " misses, " << stats.cache_evictions << " evictions\n";
+  }
+
   if (!report_path.empty()) {
+    auto target_or =
+        service.artifacts().registry.Find(flags.GetString("target"));
+    if (!target_or.ok()) return Fail(target_or.status());
     std::ofstream out(report_path);
     if (!out) {
       return Fail(Status::IOError("cannot write report: " + report_path));
     }
-    out << RenderSelectionReport(report, world.zoo, **target_or);
+    out << RenderSelectionReport(response.report, service.artifacts().zoo,
+                                 **target_or);
     std::cout << "markdown report -> " << report_path << "\n";
   }
-  if (options.trace != nullptr) {
+  if (request.want_trace) {
     if (trace_path.empty()) {
       return Fail(Status::InvalidArgument(
           "--trace needs a file path (use `tps_cli trace` to print the "
           "trace to stdout)"));
     }
-    const int code = EmitText(trace.ToJson(2), trace_path, "selection trace");
+    const int code = EmitText(response.trace.ToJson(2), trace_path,
+                              "selection trace");
     if (code != 0) return code;
   }
   return 0;
@@ -577,6 +667,8 @@ int Dispatch(const std::string& command, const FlagParser& flags) {
   if (command == "card") return RunCard(flags);
   if (command == "store-info") return RunStoreInfo(flags);
   if (command == "store-compact") return RunStoreCompact(flags);
+  if (command == "serve") return serve::RunServe(flags);
+  if (command == "query") return serve::RunQuery(flags);
   return Usage();
 }
 
