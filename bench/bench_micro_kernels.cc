@@ -2,9 +2,20 @@
 // kernels: LEEP / NCE / LogME / kNN proxy scoring, pairwise Eq. 1
 // distances, k-means, hierarchical clustering, and the fine-tune
 // simulator. These are the per-call costs the online phase pays.
+//
+// Each proxy scorer runs twice — once with the retained scalar reference
+// kernels, once with the batched SoA kernels that are the production
+// default — so a run reports the vectorization speedup directly. A custom
+// main mirrors every measured time into the BENCH_micro_kernels.json
+// sidecar (see bench/telemetry.h) alongside the per-kernel speedups.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/telemetry.h"
 #include "clustering/distance.h"
 #include "clustering/hierarchical.h"
 #include "clustering/kmeans.h"
@@ -12,6 +23,7 @@
 #include "model/paper_zoo.h"
 #include "model/zoo.h"
 #include "sim/finetune_simulator.h"
+#include "transfer/kernels.h"
 #include "transfer/knn_proxy.h"
 #include "transfer/leep.h"
 #include "transfer/logme.h"
@@ -46,45 +58,49 @@ const PretrainedModel& Model() {
   return *model;
 }
 
-void BM_LeepScore(benchmark::State& state) {
-  LeepScorer scorer;
+void BM_LeepScore(benchmark::State& state, kernels::KernelMode mode) {
+  LeepScorer scorer(mode);
   for (auto _ : state) {
     auto score = scorer.Score(Model(), TargetDataset());
     TPS_CHECK_OK(score.status());
     benchmark::DoNotOptimize(*score);
   }
 }
-BENCHMARK(BM_LeepScore);
+BENCHMARK_CAPTURE(BM_LeepScore, Reference, kernels::KernelMode::kReference);
+BENCHMARK_CAPTURE(BM_LeepScore, Batched, kernels::KernelMode::kBatched);
 
-void BM_NceScore(benchmark::State& state) {
-  NceScorer scorer;
+void BM_NceScore(benchmark::State& state, kernels::KernelMode mode) {
+  NceScorer scorer(mode);
   for (auto _ : state) {
     auto score = scorer.Score(Model(), TargetDataset());
     TPS_CHECK_OK(score.status());
     benchmark::DoNotOptimize(*score);
   }
 }
-BENCHMARK(BM_NceScore);
+BENCHMARK_CAPTURE(BM_NceScore, Reference, kernels::KernelMode::kReference);
+BENCHMARK_CAPTURE(BM_NceScore, Batched, kernels::KernelMode::kBatched);
 
-void BM_LogMeScore(benchmark::State& state) {
-  LogMeScorer scorer;
+void BM_LogMeScore(benchmark::State& state, kernels::KernelMode mode) {
+  LogMeScorer scorer(mode);
   for (auto _ : state) {
     auto score = scorer.Score(Model(), TargetDataset());
     TPS_CHECK_OK(score.status());
     benchmark::DoNotOptimize(*score);
   }
 }
-BENCHMARK(BM_LogMeScore);
+BENCHMARK_CAPTURE(BM_LogMeScore, Reference, kernels::KernelMode::kReference);
+BENCHMARK_CAPTURE(BM_LogMeScore, Batched, kernels::KernelMode::kBatched);
 
-void BM_KnnScore(benchmark::State& state) {
-  KnnScorer scorer;
+void BM_KnnScore(benchmark::State& state, kernels::KernelMode mode) {
+  KnnScorer scorer(/*k=*/5, mode);
   for (auto _ : state) {
     auto score = scorer.Score(Model(), TargetDataset());
     TPS_CHECK_OK(score.status());
     benchmark::DoNotOptimize(*score);
   }
 }
-BENCHMARK(BM_KnnScore);
+BENCHMARK_CAPTURE(BM_KnnScore, Reference, kernels::KernelMode::kReference);
+BENCHMARK_CAPTURE(BM_KnnScore, Batched, kernels::KernelMode::kBatched);
 
 void BM_FineTuneRun(benchmark::State& state) {
   FineTuneSimulator simulator;
@@ -147,7 +163,69 @@ void BM_HierarchicalCluster(benchmark::State& state) {
 }
 BENCHMARK(BM_HierarchicalCluster)->Arg(40)->Arg(200);
 
+// Console output plus a record of every measured run, so main() can mirror
+// the numbers into the telemetry sidecar without re-running anything.
+class TelemetryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      times_.emplace_back(run.benchmark_name(), run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<std::pair<std::string, double>>& times() const {
+    return times_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> times_;
+};
+
+// "BM_KMeans/40" -> "BM_KMeans_40": keeps the sidecar's
+// "<domain>/<name>/<metric>" key convention unambiguous.
+std::string SanitizedName(std::string name) {
+  for (char& c : name) {
+    if (c == '/') c = '_';
+  }
+  return name;
+}
+
+void WriteTelemetry(const TelemetryReporter& reporter) {
+  bench::BenchTelemetry telemetry("micro_kernels");
+  const auto find = [&](const std::string& name) -> const double* {
+    for (const auto& [run_name, ns] : reporter.times()) {
+      if (run_name == name) return &ns;
+    }
+    return nullptr;
+  };
+  for (const auto& [name, ns] : reporter.times()) {
+    telemetry.RecordValue("kernel/" + SanitizedName(name) + "/ns", ns);
+  }
+  for (const char* base :
+       {"BM_LeepScore", "BM_NceScore", "BM_LogMeScore", "BM_KnnScore"}) {
+    const double* reference = find(std::string(base) + "/Reference");
+    const double* batched = find(std::string(base) + "/Batched");
+    if (reference == nullptr || batched == nullptr || *batched <= 0.0) {
+      continue;  // Filtered out via --benchmark_filter; skip the ratio.
+    }
+    telemetry.RecordValue(
+        std::string("kernel/") + base + "/reference_over_batched",
+        *reference / *batched);
+  }
+  telemetry.WriteFileOrWarn();
+}
+
 }  // namespace
 }  // namespace tps
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  tps::TelemetryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  tps::WriteTelemetry(reporter);
+  return 0;
+}

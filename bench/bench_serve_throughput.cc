@@ -4,11 +4,18 @@
 // the proxy-score cache hit rate, cold vs warm vs cache-off. The headline
 // number is the warm-over-cold speedup: once the cache holds the proxy
 // scores for the request mix, the recall phase stops recomputing them.
+//
+// A second experiment measures the cold path itself: a stampede of clients
+// hitting the same never-seen target at once, comparing the
+// pre-vectorization configuration (scalar reference kernels, no request
+// coalescing) against the production default (batched SoA kernels +
+// cross-request proxy coalescing). Its headline is NLP/cold_p50_speedup.
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <iostream>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -30,6 +37,7 @@ using serve::ServiceStats;
 
 constexpr int kClients = 4;
 constexpr int kRequestsPerClient = 25;
+constexpr int kStampedeClients = 8;
 
 struct LoadResult {
   double wall_ms = 0.0;
@@ -84,6 +92,55 @@ LoadResult RunLoad(SelectionService& service,
   std::vector<double> all;
   for (const auto& per_client : latencies) {
     all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+  LoadResult result;
+  result.wall_ms = wall_ms;
+  result.qps = static_cast<double>(all.size()) / (wall_ms / 1000.0);
+  result.p50_ms = Percentile(all, 0.50);
+  result.p99_ms = Percentile(all, 0.99);
+  result.stats = service.Stats();
+  return result;
+}
+
+/// Cold-request stampede: for every target in turn, kStampedeClients
+/// clients submit the identical request simultaneously against a service
+/// with no proxy-score cache. Every measured request is cold; coalescing,
+/// when enabled, is the only thing that collapses the duplicate work. The
+/// requests ask for the full proxy suite — the per-model scoring kernels
+/// are the cold path the stampede is designed to stress.
+LoadResult RunStampede(SelectionService& service,
+                       const std::vector<const Dataset*>& targets) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<double> all;
+  std::mutex mu;
+  std::atomic<uint64_t> failures{0};
+  const auto start = Clock::now();
+  for (const Dataset* target : targets) {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kStampedeClients; ++c) {
+      clients.emplace_back([&, target] {
+        SelectionRequest request;
+        request.target = target->name();
+        request.proxies = {"leep", "nce", "logme", "knn"};
+        const auto begin = Clock::now();
+        const auto response = service.Submit(std::move(request)).get();
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - begin)
+                .count();
+        if (!response.status.ok()) failures.fetch_add(1);
+        std::lock_guard<std::mutex> lock(mu);
+        all.push_back(ms);
+      });
+    }
+    for (std::thread& client : clients) client.join();
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start)
+          .count();
+  if (failures.load() > 0) {
+    std::cerr << "warning: " << failures.load()
+              << " requests failed during the stampede run\n";
   }
   std::sort(all.begin(), all.end());
   LoadResult result;
@@ -167,11 +224,46 @@ void Report() {
   warm_only.stats = warm_stats;
   record("warm_cache", warm_only);
 
+  // Cold-request stampede, pre-vectorization configuration vs the
+  // production default. The cache is disabled for both so every measured
+  // request is genuinely cold — otherwise late arrivals in a wave hit
+  // entries inserted by early finishers and the run degenerates into the
+  // warm-cache measurement above. With the cache off the old configuration
+  // recomputes every proxy per request; the new one still collapses each
+  // wave to a single computation via the proxy flight group.
+  ServiceOptions stampede_options = options;
+  stampede_options.worker_threads = kStampedeClients;
+  stampede_options.max_queue = 4 * kStampedeClients;
+  stampede_options.cache_capacity = 0;
+  LoadResult stampede_old;
+  {
+    ServiceOptions old_options = stampede_options;
+    old_options.kernel_mode = kernels::KernelMode::kReference;
+    old_options.coalesce_proxies = false;
+    auto old_service = ExitIfError(
+        SelectionService::Create(artifacts, old_options),
+        "service (reference kernels, no coalescing)");
+    stampede_old = RunStampede(*old_service, targets);
+    record("stampede_reference_uncoalesced", stampede_old);
+  }
+  auto new_service = ExitIfError(
+      SelectionService::Create(artifacts, stampede_options),
+      "service (batched kernels + coalescing)");
+  const LoadResult stampede_new = RunStampede(*new_service, targets);
+  record("stampede_batched_coalesced", stampede_new);
+
   table.Print(std::cout);
   const double speedup = warm.p50_ms > 0.0 ? off.p50_ms / warm.p50_ms : 0.0;
   std::cout << "\nwarm-cache p50 speedup vs cache-off: "
             << strings::Format("%.2fx", speedup) << "\n";
   telemetry.RecordValue("NLP/warm_vs_off_p50_speedup", speedup);
+  const double cold_speedup = stampede_new.p50_ms > 0.0
+                                  ? stampede_old.p50_ms / stampede_new.p50_ms
+                                  : 0.0;
+  std::cout << "cold-request p50 speedup (batched + coalesced vs "
+               "reference uncoalesced): "
+            << strings::Format("%.2fx", cold_speedup) << "\n";
+  telemetry.RecordValue("NLP/cold_p50_speedup", cold_speedup);
   telemetry.WriteFileOrWarn();
 }
 

@@ -9,6 +9,13 @@ double PerformanceSimilarity(const std::vector<double>& a,
   return 1.0 - vec::MeanOfTopK(vec::AbsDiff(a, b), top_k);
 }
 
+double PerformanceSimilarity(const double* a, const double* b, size_t dims,
+                             size_t top_k, std::vector<double>& scratch) {
+  scratch.resize(dims);
+  vec::AbsDiffInto(a, b, dims, scratch.data());
+  return 1.0 - vec::MeanOfTopKInPlace(scratch.data(), dims, top_k);
+}
+
 double Distance(const std::vector<double>& a, const std::vector<double>& b,
                 DistanceMetric metric, size_t top_k) {
   switch (metric) {

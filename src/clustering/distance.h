@@ -25,6 +25,15 @@ enum class DistanceMetric {
 double PerformanceSimilarity(const std::vector<double>& a,
                              const std::vector<double>& b, size_t top_k);
 
+/// Batch form of PerformanceSimilarity for hot loops that compare one
+/// vector against many: callers pass raw equal-length rows plus a reusable
+/// scratch buffer, so the per-pair |a-b| temporary is allocated once per
+/// sweep instead of once per pair. Bit-identical to the vector overload
+/// (same AbsDiff then mean-of-top-k arithmetic; the differential kernel
+/// harness pins it).
+double PerformanceSimilarity(const double* a, const double* b, size_t dims,
+                             size_t top_k, std::vector<double>& scratch);
+
 /// Distance between two vectors under `metric` (`top_k` applies only to
 /// kTopKAbsDiff).
 double Distance(const std::vector<double>& a, const std::vector<double>& b,

@@ -53,12 +53,12 @@ StatusOr<RecallResult> CoarseRecall::Recall(const Dataset& target,
   std::vector<std::unique_ptr<ProxyScorer>> scorers;
   if (options.proxies.empty()) {
     TPS_ASSIGN_OR_RETURN(std::unique_ptr<ProxyScorer> scorer,
-                         MakeProxyScorer(options.proxy));
+                         MakeProxyScorer(options.proxy, options.kernel_mode));
     scorers.push_back(std::move(scorer));
   } else {
     for (const std::string& name : options.proxies) {
       TPS_ASSIGN_OR_RETURN(std::unique_ptr<ProxyScorer> scorer,
-                           MakeProxyScorer(name));
+                           MakeProxyScorer(name, options.kernel_mode));
       scorers.push_back(std::move(scorer));
     }
   }
@@ -91,24 +91,58 @@ StatusOr<RecallResult> CoarseRecall::Recall(const Dataset& target,
   // scored model. Each representative's forward pass is independent, so
   // they fan out over the pool into index-addressed slots; normalization
   // and averaging reduce the slots serially in model-index order.
+  // The fingerprint half of the flight/cache key is shared by every scored
+  // model, so it is hashed once per recall, not once per proxy.
+  const uint64_t target_fingerprint =
+      options.flight_group != nullptr ? DatasetFingerprint(target) : 0;
   std::vector<double> norm_scores(scored_models.size(), 0.0);
   for (const std::unique_ptr<ProxyScorer>& scorer : scorers) {
     std::vector<double> raw_scores(scored_models.size(), 0.0);
-    TPS_RETURN_NOT_OK(StatusParallelFor(
-        pool, scored_models.size(), [&](size_t i) -> Status {
-          TPS_RETURN_NOT_OK(CheckCancel(cancel, "proxy fan-out"));
-          if (options.score_cache != nullptr) {
-            TPS_ASSIGN_OR_RETURN(raw_scores[i],
-                                 options.score_cache->GetOrCompute(
-                                     *scorer, zoo_->model(scored_models[i]),
-                                     target));
-          } else {
-            TPS_ASSIGN_OR_RETURN(
-                raw_scores[i],
-                scorer->Score(zoo_->model(scored_models[i]), target));
-          }
-          return Status::OK();
-        }));
+    if (pool == nullptr && options.score_cache == nullptr &&
+        options.flight_group == nullptr) {
+      // Serial uncached path: one ScoreBatch call shares the per-target
+      // setup (label extraction, scratch) across every scored model. The
+      // per-model cancellation checks still run — up front, so the check
+      // count matches the per-model loop and no partial scoring precedes
+      // a trip either way.
+      for (size_t i = 0; i < scored_models.size(); ++i) {
+        TPS_RETURN_NOT_OK(CheckCancel(cancel, "proxy fan-out"));
+      }
+      std::vector<const PretrainedModel*> models;
+      models.reserve(scored_models.size());
+      for (size_t m : scored_models) models.push_back(&zoo_->model(m));
+      TPS_ASSIGN_OR_RETURN(raw_scores, scorer->ScoreBatch(models, target));
+    } else {
+      TPS_RETURN_NOT_OK(StatusParallelFor(
+          pool, scored_models.size(), [&](size_t i) -> Status {
+            TPS_RETURN_NOT_OK(CheckCancel(cancel, "proxy fan-out"));
+            const PretrainedModel& model = zoo_->model(scored_models[i]);
+            if (options.flight_group != nullptr) {
+              ProxyCacheKey key;
+              key.dataset_fingerprint = target_fingerprint;
+              key.model = model.name();
+              key.scorer = scorer->name();
+              TPS_ASSIGN_OR_RETURN(
+                  raw_scores[i],
+                  options.flight_group->GetOrCompute(
+                      options.score_cache, key,
+                      /*poll_cancel=*/
+                      [&]() {
+                        return CheckCancel(cancel, "proxy flight wait");
+                      },
+                      /*compute=*/
+                      [&]() { return scorer->Score(model, target); }));
+            } else if (options.score_cache != nullptr) {
+              TPS_ASSIGN_OR_RETURN(
+                  raw_scores[i],
+                  options.score_cache->GetOrCompute(*scorer, model, target));
+            } else {
+              TPS_ASSIGN_OR_RETURN(raw_scores[i],
+                                   scorer->Score(model, target));
+            }
+            return Status::OK();
+          }));
+    }
     const std::vector<double> normalized = MinMaxNormalize(raw_scores);
     for (size_t i = 0; i < norm_scores.size(); ++i) {
       norm_scores[i] += normalized[i] / static_cast<double>(scorers.size());
@@ -141,6 +175,23 @@ StatusOr<RecallResult> CoarseRecall::Recall(const Dataset& target,
   // stable_sort below then sees the same array as the serial run and
   // breaks ties identically.
   TPS_RETURN_NOT_OK(CheckCancel(cancel, "recall scoring"));
+  // Eq. 4 compares every unscored model against the same representative
+  // vectors, so those rows are materialized once here instead of once per
+  // (model, representative) pair inside the fan-out.
+  bool needs_propagation = false;
+  for (double p : proxy_of_cluster) {
+    if (p < 0.0) {
+      needs_propagation = true;
+      break;
+    }
+  }
+  std::vector<std::vector<double>> rep_vectors;
+  if (needs_propagation) {
+    rep_vectors.reserve(scored_models.size());
+    for (size_t m : scored_models) {
+      rep_vectors.push_back(matrix_->ModelVector(m));
+    }
+  }
   result.ranked.resize(n);
   TPS_RETURN_NOT_OK(StatusParallelFor(pool, n, [&](size_t m) -> Status {
     RecallEntry entry;
@@ -155,16 +206,17 @@ StatusOr<RecallResult> CoarseRecall::Recall(const Dataset& target,
       entry.proxy_component = cluster_proxy;
     } else {
       // Eq. 4: similarity-decayed propagation from the scored
-      // representatives.
+      // representatives, batched against the hoisted rows with one |a-b|
+      // scratch buffer per model instead of per pair.
       entry.via_propagation = true;
       const std::vector<double> my_vec = matrix_->ModelVector(m);
+      std::vector<double> scratch;
       double accum = 0.0;
       size_t count = 0;
-      for (size_t i = 0; i < scored_models.size(); ++i) {
-        const std::vector<double> rep_vec =
-            matrix_->ModelVector(scored_models[i]);
+      for (size_t i = 0; i < rep_vectors.size(); ++i) {
         const double sim = PerformanceSimilarity(
-            my_vec, rep_vec, clustering_->options.top_k);
+            my_vec.data(), rep_vectors[i].data(), my_vec.size(),
+            clustering_->options.top_k, scratch);
         accum += sim * norm_scores[i];
         ++count;
       }

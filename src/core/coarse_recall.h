@@ -12,6 +12,8 @@
 #include "data/dataset.h"
 #include "model/zoo.h"
 #include "sim/epoch_budget.h"
+#include "transfer/kernels.h"
+#include "transfer/proxy_flight.h"
 #include "transfer/proxy_scorer.h"
 #include "transfer/score_cache.h"
 #include "util/metrics.h"
@@ -51,6 +53,21 @@ struct RecallOptions {
   /// nullptr disables caching. The cache must be thread-safe when a pool
   /// is passed (ProxyScoreCache is).
   ProxyScoreCache* score_cache = nullptr;
+  /// Optional cross-request proxy coalescing. When non-null, concurrent
+  /// requests computing the same (target, model, scorer) proxy collapse
+  /// into one flight: the first arrival computes (inserting into
+  /// `score_cache` when set, before the flight retires), the rest share
+  /// the result. Scores are pure functions of the key, so coalescing is
+  /// bit-identical to computing independently — see
+  /// tests/serve/coalescing_test.cc. nullptr disables coalescing.
+  ProxyFlightGroup* flight_group = nullptr;
+  /// Which kernel family the proxy scorers compute with. kBatched (the
+  /// default) is the SoA vectorized hot path; kReference retains the
+  /// original scalar loops. Both are bit-identical by contract (the
+  /// differential kernel harness pins it), so this is a performance
+  /// toggle, never a results toggle — the parallel-equivalence and
+  /// metrics-inertness suites sweep it.
+  kernels::KernelMode kernel_mode = kernels::KernelMode::kBatched;
 };
 
 /// One scored model in the recall ranking.

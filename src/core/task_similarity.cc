@@ -28,15 +28,21 @@ StatusOr<std::vector<double>> TaskSimilaritySelector::EmbedTask(
   const std::vector<double> means = features.ColMeans();
   embedding.insert(embedding.end(), means.begin(), means.end());
   // Per-dimension standard deviations (within-task feature dispersion, the
-  // cheap Fisher-diagonal stand-in).
-  for (size_t d = 0; d < dims; ++d) {
-    double accum = 0.0;
-    for (size_t i = 0; i < features.rows(); ++i) {
-      const double diff = features.At(i, d) - means[d];
-      accum += diff * diff;
+  // cheap Fisher-diagonal stand-in). Row-outer so the matrix streams once
+  // in storage order; each dimension's accumulation still visits rows in
+  // ascending order, so the sums are bit-identical to the column-strided
+  // loop.
+  std::vector<double> accum(dims, 0.0);
+  const double* row_data = features.data().data();
+  for (size_t i = 0; i < features.rows(); ++i, row_data += dims) {
+    for (size_t d = 0; d < dims; ++d) {
+      const double diff = row_data[d] - means[d];
+      accum[d] += diff * diff;
     }
+  }
+  for (size_t d = 0; d < dims; ++d) {
     embedding.push_back(
-        std::sqrt(accum / static_cast<double>(features.rows())));
+        std::sqrt(accum[d] / static_cast<double>(features.rows())));
   }
   return embedding;
 }

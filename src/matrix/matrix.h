@@ -74,6 +74,10 @@ class Matrix {
 
   const std::vector<double>& data() const { return data_; }
 
+  /// Mutable raw row-major storage, for the SoA batch kernels that fill a
+  /// matrix through contiguous pointers. Prefer At() everywhere else.
+  std::vector<double>& data() { return data_; }
+
   friend bool operator==(const Matrix& a, const Matrix& b) {
     return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
   }

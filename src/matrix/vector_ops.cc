@@ -74,14 +74,7 @@ std::vector<double> AbsDiff(const std::vector<double>& a,
 }
 
 double MeanOfTopK(std::vector<double> values, size_t k) {
-  if (values.empty()) return 0.0;
-  k = std::clamp<size_t>(k, 1, values.size());
-  std::partial_sort(values.begin(),
-                    values.begin() + static_cast<ptrdiff_t>(k), values.end(),
-                    std::greater<double>());
-  double sum = 0.0;
-  for (size_t i = 0; i < k; ++i) sum += values[i];
-  return sum / static_cast<double>(k);
+  return MeanOfTopKInPlace(values.data(), values.size(), k);
 }
 
 void NormalizeInPlace(std::vector<double>& a) {
@@ -91,16 +84,34 @@ void NormalizeInPlace(std::vector<double>& a) {
 }
 
 std::vector<double> Softmax(const std::vector<double>& logits) {
-  if (logits.empty()) return {};
-  const double max_logit = *std::max_element(logits.begin(), logits.end());
-  std::vector<double> out(logits.size());
-  double denom = 0.0;
-  for (size_t i = 0; i < logits.size(); ++i) {
-    out[i] = std::exp(logits[i] - max_logit);
-    denom += out[i];
-  }
-  for (double& v : out) v /= denom;
+  std::vector<double> out(logits);
+  SoftmaxInPlace(out.data(), out.size());
   return out;
+}
+
+void SoftmaxInPlace(double* values, size_t n) {
+  if (n == 0) return;
+  const double max_logit = *std::max_element(values, values + n);
+  double denom = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = std::exp(values[i] - max_logit);
+    denom += values[i];
+  }
+  for (size_t i = 0; i < n; ++i) values[i] /= denom;
+}
+
+double MeanOfTopKInPlace(double* values, size_t n, size_t k) {
+  if (n == 0) return 0.0;
+  k = std::clamp<size_t>(k, 1, n);
+  std::partial_sort(values, values + static_cast<ptrdiff_t>(k), values + n,
+                    std::greater<double>());
+  double sum = 0.0;
+  for (size_t i = 0; i < k; ++i) sum += values[i];
+  return sum / static_cast<double>(k);
+}
+
+void AbsDiffInto(const double* a, const double* b, size_t n, double* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = std::fabs(a[i] - b[i]);
 }
 
 }  // namespace vec

@@ -51,6 +51,25 @@ void NormalizeInPlace(std::vector<double>& a);
 /// Softmax (numerically stabilized by max subtraction).
 std::vector<double> Softmax(const std::vector<double>& logits);
 
+// --- Batch kernels (SoA hot path; see DESIGN.md "Hot-path kernels") ---
+//
+// Raw-pointer variants of the allocating helpers above, for inner loops
+// that reuse caller-owned scratch. Each is bit-identical to its allocating
+// counterpart (same operations, same order); the differential kernel
+// harness (tests/transfer/kernel_equivalence_test.cc) pins this.
+
+/// Softmax over `values[0, n)` in place: identical max-subtraction, exp
+/// and normalization order as Softmax(). No-op when n == 0.
+void SoftmaxInPlace(double* values, size_t n);
+
+/// MeanOfTopK over caller-owned scratch (partially sorts `values`). Same
+/// clamp, partial_sort and summation order as MeanOfTopK. Returns 0.0 when
+/// n == 0.
+double MeanOfTopKInPlace(double* values, size_t n, size_t k);
+
+/// out[i] = |a[i] - b[i]| for i in [0, n). `out` may alias `a` or `b`.
+void AbsDiffInto(const double* a, const double* b, size_t n, double* out);
+
 }  // namespace vec
 }  // namespace tps
 

@@ -100,6 +100,14 @@ StatusOr<PretrainedModel> PretrainedModel::Create(const ModelSpec& spec) {
     vec::NormalizeInPlace(psi);
     model.source_prototypes_.push_back(std::move(psi));
   }
+  // Dimension-major transpose of the prototypes for the SoA forward pass.
+  const size_t num_protos = model.source_prototypes_.size();
+  model.proto_soa_.resize(latent::kDims * num_protos);
+  for (size_t z = 0; z < num_protos; ++z) {
+    for (size_t d = 0; d < latent::kDims; ++d) {
+      model.proto_soa_[d * num_protos + z] = model.source_prototypes_[z][d];
+    }
+  }
   return model;
 }
 
@@ -107,14 +115,18 @@ double PretrainedModel::DomainCosine(const Dataset& dataset) const {
   return vec::CosineSimilarity(affinity_, dataset.domain_vector());
 }
 
-StatusOr<Matrix> PretrainedModel::ExtractFeatures(
-    const Dataset& dataset) const {
+Status PretrainedModel::CheckDomain(const Dataset& dataset) const {
   if (dataset.spec().domain != spec_.domain) {
     return Status::InvalidArgument(
         "model " + spec_.name + " (" + ToString(spec_.domain) +
         ") cannot embed dataset " + dataset.name() + " (" +
         ToString(dataset.spec().domain) + ")");
   }
+  return Status::OK();
+}
+
+PretrainedModel::HeadParams PretrainedModel::ComputeHeadParams(
+    const Dataset& dataset) const {
   // Smooth alignment curve: even an off-domain (cos ~ 0) model extracts
   // somewhat-discriminative features if it is capable; a strongly
   // misaligned one does not.
@@ -122,25 +134,64 @@ StatusOr<Matrix> PretrainedModel::ExtractFeatures(
       std::pow(latent::AffinityFromCosine(DomainCosine(dataset)), 2.0);
   Rng rng(latent::CombineSeeds(seed_, dataset.seed()));
   const double idiosyncrasy = std::exp(kBetaIdiosyncrasy * rng.Normal());
-  const double beta =
-      (kBetaBase + kBetaScale * capability_ * align) * idiosyncrasy;
-  const double separation = kSeparationScale * capability_ * align *
-                            std::exp(kSeparationIdiosyncrasy * rng.Normal());
-
+  HeadParams params;
+  params.beta = (kBetaBase + kBetaScale * capability_ * align) * idiosyncrasy;
+  params.separation = kSeparationScale * capability_ * align *
+                      std::exp(kSeparationIdiosyncrasy * rng.Normal());
   // Model-specific routing of target labels onto source labels. The offset
   // is a deterministic function of (model, dataset) so predictions stay
   // consistent across calls.
-  const size_t num_labels = source_prototypes_.size();
-  const size_t route_offset = rng.Next() % num_labels;
+  params.route_offset = rng.Next() % source_prototypes_.size();
+  return params;
+}
 
+StatusOr<Matrix> PretrainedModel::ExtractFeatures(
+    const Dataset& dataset) const {
+  TPS_RETURN_NOT_OK(CheckDomain(dataset));
+  const HeadParams params = ComputeHeadParams(dataset);
+  const size_t num_labels = source_prototypes_.size();
+
+  // SoA forward pass: the reduction dimension d is the OUTER loop, the Z
+  // independent accumulators the inner one, streaming the dimension-major
+  // prototype rows contiguously. Each logit still accumulates its d terms
+  // in ascending order — exactly vec::Dot's order — so the result is
+  // bit-identical to ExtractFeaturesReference.
+  Matrix logits(dataset.size(), num_labels);
+  double* out = logits.data().data();
+  std::vector<double> acc(num_labels);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const Example& ex = dataset.examples()[i];
+    const double* features = ex.features.data();
+    std::fill(acc.begin(), acc.end(), 0.0);
+    for (size_t d = 0; d < latent::kDims; ++d) {
+      const double f = features[d];
+      const double* proto_row = proto_soa_.data() + d * num_labels;
+      for (size_t z = 0; z < num_labels; ++z) acc[z] += f * proto_row[z];
+    }
+    const size_t routed =
+        (static_cast<size_t>(ex.label) + params.route_offset) % num_labels;
+    double* row = out + i * num_labels;
+    for (size_t z = 0; z < num_labels; ++z) {
+      row[z] = params.beta * acc[z] + (z == routed ? params.separation : 0.0);
+    }
+  }
+  return logits;
+}
+
+StatusOr<Matrix> PretrainedModel::ExtractFeaturesReference(
+    const Dataset& dataset) const {
+  TPS_RETURN_NOT_OK(CheckDomain(dataset));
+  const HeadParams params = ComputeHeadParams(dataset);
+  const size_t num_labels = source_prototypes_.size();
   Matrix logits(dataset.size(), num_labels);
   for (size_t i = 0; i < dataset.size(); ++i) {
     const Example& ex = dataset.examples()[i];
     const size_t routed =
-        (static_cast<size_t>(ex.label) + route_offset) % num_labels;
+        (static_cast<size_t>(ex.label) + params.route_offset) % num_labels;
     for (size_t z = 0; z < num_labels; ++z) {
-      logits.At(i, z) = beta * vec::Dot(ex.features, source_prototypes_[z]) +
-                        (z == routed ? separation : 0.0);
+      logits.At(i, z) =
+          params.beta * vec::Dot(ex.features, source_prototypes_[z]) +
+          (z == routed ? params.separation : 0.0);
     }
   }
   return logits;
@@ -149,6 +200,19 @@ StatusOr<Matrix> PretrainedModel::ExtractFeatures(
 StatusOr<Matrix> PretrainedModel::PredictDistributions(
     const Dataset& dataset) const {
   TPS_ASSIGN_OR_RETURN(Matrix logits, ExtractFeatures(dataset));
+  // In-place row softmax: same max-subtraction/exp/normalize order as
+  // vec::Softmax, minus the two per-row allocations.
+  double* data = logits.data().data();
+  const size_t cols = logits.cols();
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    vec::SoftmaxInPlace(data + i * cols, cols);
+  }
+  return logits;
+}
+
+StatusOr<Matrix> PretrainedModel::PredictDistributionsReference(
+    const Dataset& dataset) const {
+  TPS_ASSIGN_OR_RETURN(Matrix logits, ExtractFeaturesReference(dataset));
   Matrix predictions(logits.rows(), logits.cols());
   for (size_t i = 0; i < logits.rows(); ++i) {
     const std::vector<double> probs = vec::Softmax(logits.Row(i));

@@ -56,10 +56,36 @@ class PretrainedModel {
   /// example: an examples x num_source_labels matrix. These are the
   /// "features" consumed by feature-based proxies (LogME, kNN).
   /// PredictDistributions is the row-wise softmax of this matrix.
+  ///
+  /// This is the SoA batch entry point of the forward pass (the inner loop
+  /// streams dimension-major prototypes). The *Reference variants below
+  /// retain the straightforward AoS loops; both pairs are bit-identical
+  /// and the differential kernel harness pins it.
   StatusOr<Matrix> ExtractFeatures(const Dataset& dataset) const;
 
+  /// Reference (AoS, per-example vec::Dot) forward pass. Test-only: kept
+  /// so the kernel-equivalence suite can diff the SoA path against the
+  /// original loop structure forever.
+  StatusOr<Matrix> ExtractFeaturesReference(const Dataset& dataset) const;
+
+  /// Reference predictions: ExtractFeaturesReference + allocating per-row
+  /// softmax. Test-only counterpart of PredictDistributions.
+  StatusOr<Matrix> PredictDistributionsReference(const Dataset& dataset) const;
+
  private:
+  struct HeadParams {
+    double beta = 0.0;
+    double separation = 0.0;
+    size_t route_offset = 0;
+  };
+
   PretrainedModel() = default;
+
+  /// Deterministic per-(model, dataset) head parameters, shared by the SoA
+  /// and reference forward passes (identical Rng draw order).
+  HeadParams ComputeHeadParams(const Dataset& dataset) const;
+
+  Status CheckDomain(const Dataset& dataset) const;
 
   ModelSpec spec_;
   uint64_t seed_ = 0;
@@ -67,6 +93,10 @@ class PretrainedModel {
   std::vector<double> affinity_;
   /// Source-label prototype directions, one per source label (unit norm).
   std::vector<std::vector<double>> source_prototypes_;
+  /// The same prototypes transposed to dimension-major SoA layout
+  /// (proto_soa_[d * Z + z] = source_prototypes_[z][d]), so the batch
+  /// forward pass accumulates all Z logits with a contiguous inner loop.
+  std::vector<double> proto_soa_;
 };
 
 }  // namespace tps

@@ -42,6 +42,9 @@ SelectionService::SelectionService(ServiceArtifacts artifacts,
     cache_ = std::make_unique<ProxyScoreCache>(options_.cache_capacity,
                                                metrics_);
   }
+  if (options_.coalesce_proxies) {
+    flight_ = std::make_unique<ProxyFlightGroup>(metrics_);
+  }
   workers_.reserve(static_cast<size_t>(options_.worker_threads));
   for (int i = 0; i < options_.worker_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -172,6 +175,8 @@ SelectionResponse SelectionService::Run(const SelectionRequest& request,
     options.recall.proxy = request.proxy;
     options.recall.proxies = request.proxies;
     options.recall.score_cache = cache_.get();
+    options.recall.flight_group = flight_.get();
+    options.recall.kernel_mode = options_.kernel_mode;
     options.fine_selection.threshold = request.threshold;
     options.metrics = metrics_;
     options.cancel = token;

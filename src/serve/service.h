@@ -18,6 +18,8 @@
 #include "core/two_phase.h"
 #include "serve/artifacts.h"
 #include "sim/finetune_simulator.h"
+#include "transfer/kernels.h"
+#include "transfer/proxy_flight.h"
 #include "transfer/score_cache.h"
 #include "util/metrics.h"
 #include "util/statusor.h"
@@ -45,6 +47,16 @@ struct ServiceOptions {
   /// Default per-request deadline in milliseconds; 0 = no deadline.
   /// Requests may override per call.
   double default_deadline_ms = 0.0;
+  /// Cross-request proxy coalescing: concurrent requests needing the same
+  /// (target, model, scorer) proxy share one computation (single-flight on
+  /// the cache key, with cancellation-safe leader handoff). Bit-identical
+  /// to independent computation — tests/serve/coalescing_test.cc — so this
+  /// only changes cost, never answers.
+  bool coalesce_proxies = true;
+  /// Kernel family for the proxy hot path (forwarded to
+  /// RecallOptions::kernel_mode). kBatched = SoA vectorized kernels;
+  /// kReference = original scalar loops. Bit-identical by contract.
+  kernels::KernelMode kernel_mode = kernels::KernelMode::kBatched;
   /// Metrics sink; nullptr -> MetricsRegistry::Default().
   MetricsRegistry* metrics = nullptr;
   /// Test-only hook: invoked by a worker thread immediately before it
@@ -149,6 +161,7 @@ class SelectionService {
 
   const ServiceArtifacts& artifacts() const { return artifacts_; }
   ProxyScoreCache* cache() { return cache_.get(); }
+  ProxyFlightGroup* flight_group() { return flight_.get(); }
   size_t queue_depth() const;
 
  private:
@@ -176,6 +189,7 @@ class SelectionService {
   TwoPhaseSelector selector_;
   std::unique_ptr<ThreadPool> pool_;      // Null when pipeline_threads == 1.
   std::unique_ptr<ProxyScoreCache> cache_;  // Null when capacity == 0.
+  std::unique_ptr<ProxyFlightGroup> flight_;  // Null when coalescing is off.
 
   mutable std::mutex mu_;
   std::condition_variable queue_ready_;

@@ -1,14 +1,14 @@
 #include "transfer/knn_proxy.h"
 
 #include <algorithm>
-#include <cmath>
-#include <map>
+
+#include "transfer/kernels.h"
 
 namespace tps {
 
 StatusOr<double> KnnLeaveOneOutAccuracy(const Matrix& features,
                                         const std::vector<int>& labels,
-                                        int k) {
+                                        int k, kernels::KernelMode mode) {
   const size_t n = features.rows();
   if (n < 2) {
     return Status::InvalidArgument("kNN needs at least 2 examples");
@@ -20,50 +20,30 @@ StatusOr<double> KnnLeaveOneOutAccuracy(const Matrix& features,
     return Status::InvalidArgument("kNN needs k >= 1");
   }
   const size_t kk = std::min<size_t>(static_cast<size_t>(k), n - 1);
-
-  size_t correct = 0;
-  std::vector<std::pair<double, size_t>> distances(n);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < n; ++j) {
-      if (j == i) {
-        distances[j] = {std::numeric_limits<double>::infinity(), j};
-        continue;
-      }
-      double d2 = 0.0;
-      for (size_t c = 0; c < features.cols(); ++c) {
-        const double diff = features.At(i, c) - features.At(j, c);
-        d2 += diff * diff;
-      }
-      distances[j] = {d2, j};
-    }
-    std::partial_sort(distances.begin(),
-                      distances.begin() + static_cast<ptrdiff_t>(kk),
-                      distances.end());
-    std::map<int, size_t> votes;
-    for (size_t r = 0; r < kk; ++r) {
-      ++votes[labels[distances[r].second]];
-    }
-    int best_label = -1;
-    size_t best_votes = 0;
-    for (const auto& [label, count] : votes) {
-      if (count > best_votes) {
-        best_votes = count;
-        best_label = label;
-      }
-    }
-    if (best_label == labels[i]) ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(n);
+  return mode == kernels::KernelMode::kBatched
+             ? kernels::KnnBatched(features, labels, kk)
+             : kernels::KnnReference(features, labels, kk);
 }
 
 StatusOr<double> KnnScorer::Score(const PretrainedModel& model,
                                   const Dataset& target) const {
   TPS_ASSIGN_OR_RETURN(Matrix features, model.ExtractFeatures(target));
-  std::vector<int> labels(target.size());
-  for (size_t i = 0; i < target.size(); ++i) {
-    labels[i] = target.examples()[i].label;
+  return KnnLeaveOneOutAccuracy(features, TargetLabels(target), k_, mode_);
+}
+
+StatusOr<std::vector<double>> KnnScorer::ScoreBatch(
+    const std::vector<const PretrainedModel*>& models,
+    const Dataset& target) const {
+  const std::vector<int> labels = TargetLabels(target);
+  std::vector<double> scores;
+  scores.reserve(models.size());
+  for (const PretrainedModel* model : models) {
+    TPS_ASSIGN_OR_RETURN(Matrix features, model->ExtractFeatures(target));
+    TPS_ASSIGN_OR_RETURN(double score,
+                         KnnLeaveOneOutAccuracy(features, labels, k_, mode_));
+    scores.push_back(score);
   }
-  return KnnLeaveOneOutAccuracy(features, labels, k_);
+  return scores;
 }
 
 }  // namespace tps

@@ -1,12 +1,13 @@
 #include "transfer/leep.h"
 
-#include <cmath>
+#include "transfer/kernels.h"
 
 namespace tps {
 
 StatusOr<double> LeepFromPredictions(const Matrix& predictions,
                                      const std::vector<int>& labels,
-                                     int num_target_labels) {
+                                     int num_target_labels,
+                                     kernels::KernelMode mode) {
   const size_t n = predictions.rows();
   const size_t num_source = predictions.cols();
   if (n == 0 || num_source == 0) {
@@ -23,59 +24,36 @@ StatusOr<double> LeepFromPredictions(const Matrix& predictions,
       return Status::OutOfRange("LEEP label out of range");
     }
   }
-
   const size_t num_target = static_cast<size_t>(num_target_labels);
-  // Empirical joint P(y, z).
-  Matrix joint(num_target, num_source, 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    const size_t y = static_cast<size_t>(labels[i]);
-    for (size_t z = 0; z < num_source; ++z) {
-      joint.At(y, z) += predictions.At(i, z);
-    }
-  }
-  for (size_t y = 0; y < num_target; ++y) {
-    for (size_t z = 0; z < num_source; ++z) {
-      joint.At(y, z) /= static_cast<double>(n);
-    }
-  }
-  // Marginal P(z) and conditional P(y | z).
-  std::vector<double> marginal(num_source, 0.0);
-  for (size_t z = 0; z < num_source; ++z) {
-    for (size_t y = 0; y < num_target; ++y) marginal[z] += joint.At(y, z);
-  }
-  Matrix conditional(num_target, num_source, 0.0);
-  for (size_t z = 0; z < num_source; ++z) {
-    if (marginal[z] <= 0.0) continue;  // Unused source label.
-    for (size_t y = 0; y < num_target; ++y) {
-      conditional.At(y, z) = joint.At(y, z) / marginal[z];
-    }
-  }
-  // Mean log-likelihood of the expected empirical predictor.
-  double total_log_likelihood = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    const size_t y = static_cast<size_t>(labels[i]);
-    double eep = 0.0;
-    for (size_t z = 0; z < num_source; ++z) {
-      eep += conditional.At(y, z) * predictions.At(i, z);
-    }
-    // Guard log(0): an EEP of exactly zero means the label never co-occurs
-    // with any predicted source label, which only happens on degenerate
-    // inputs; floor it far below any realistic likelihood.
-    total_log_likelihood += std::log(std::max(eep, 1e-12));
-  }
-  return total_log_likelihood / static_cast<double>(n);
+  return mode == kernels::KernelMode::kBatched
+             ? kernels::LeepBatched(predictions, labels, num_target)
+             : kernels::LeepReference(predictions, labels, num_target);
 }
 
 StatusOr<double> LeepScorer::Score(const PretrainedModel& model,
                                    const Dataset& target) const {
   TPS_ASSIGN_OR_RETURN(Matrix predictions,
                        model.PredictDistributions(target));
-  std::vector<int> labels(target.size());
-  for (size_t i = 0; i < target.size(); ++i) {
-    labels[i] = target.examples()[i].label;
+  return LeepFromPredictions(predictions, TargetLabels(target),
+                             target.spec().num_labels, mode_);
+}
+
+StatusOr<std::vector<double>> LeepScorer::ScoreBatch(
+    const std::vector<const PretrainedModel*>& models,
+    const Dataset& target) const {
+  const std::vector<int> labels = TargetLabels(target);
+  std::vector<double> scores;
+  scores.reserve(models.size());
+  for (const PretrainedModel* model : models) {
+    TPS_ASSIGN_OR_RETURN(Matrix predictions,
+                         model->PredictDistributions(target));
+    TPS_ASSIGN_OR_RETURN(
+        double score,
+        LeepFromPredictions(predictions, labels, target.spec().num_labels,
+                            mode_));
+    scores.push_back(score);
   }
-  return LeepFromPredictions(predictions, labels,
-                             target.spec().num_labels);
+  return scores;
 }
 
 }  // namespace tps

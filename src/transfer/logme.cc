@@ -1,85 +1,13 @@
 #include "transfer/logme.h"
 
-#include <cmath>
-#include <numbers>
-
-#include "matrix/eigen.h"
-#include "matrix/vector_ops.h"
+#include "transfer/kernels.h"
 
 namespace tps {
 
-namespace {
-
-/// Evidence of one binary (one-vs-rest) regression target, maximized over
-/// (alpha, beta) by the LogME fixed-point iteration.
-double EvidenceForTarget(const Matrix& features,
-                         const SymmetricEigenResult& gram_eigen,
-                         const std::vector<double>& fty, double yty) {
-  const size_t n = features.rows();
-  const size_t dims = features.cols();
-  const std::vector<double>& lambda = gram_eigen.values;
-
-  // Project F^T y onto the Gram eigenbasis once: p_j = v_j . (F^T y).
-  std::vector<double> projected(dims, 0.0);
-  for (size_t j = 0; j < dims; ++j) {
-    double dot = 0.0;
-    for (size_t i = 0; i < dims; ++i) {
-      dot += gram_eigen.vectors.At(i, j) * fty[i];
-    }
-    projected[j] = dot;
-  }
-
-  double alpha = 1.0;
-  double beta = 1.0;
-  double m_squared = 0.0;
-  double residual = yty;
-  for (int iteration = 0; iteration < 100; ++iteration) {
-    // In the eigenbasis, m_j = beta * p_j / (alpha + beta * lambda_j).
-    double gamma = 0.0;
-    m_squared = 0.0;
-    double mt_gram_m = 0.0;  // m^T (F^T F) m
-    double mt_fty = 0.0;     // m^T F^T y
-    for (size_t j = 0; j < dims; ++j) {
-      const double lj = std::max(lambda[j], 0.0);
-      const double denom = alpha + beta * lj;
-      const double mj = beta * projected[j] / denom;
-      gamma += beta * lj / denom;
-      m_squared += mj * mj;
-      mt_gram_m += mj * mj * lj;
-      mt_fty += mj * projected[j];
-    }
-    residual = std::max(yty - 2.0 * mt_fty + mt_gram_m, 1e-12);
-    const double new_alpha = gamma / std::max(m_squared, 1e-12);
-    const double new_beta =
-        (static_cast<double>(n) - gamma) / residual;
-    const bool converged = std::fabs(new_alpha - alpha) <=
-                               1e-4 * std::fabs(alpha) &&
-                           std::fabs(new_beta - beta) <=
-                               1e-4 * std::fabs(beta);
-    alpha = std::max(new_alpha, 1e-10);
-    beta = std::max(new_beta, 1e-10);
-    if (converged) break;
-  }
-
-  // log|A| with A = alpha I + beta F^T F.
-  double log_det = 0.0;
-  for (size_t j = 0; j < dims; ++j) {
-    log_det += std::log(alpha + beta * std::max(lambda[j], 0.0));
-  }
-  const double nd = static_cast<double>(n);
-  const double dd = static_cast<double>(dims);
-  const double evidence =
-      0.5 * (nd * std::log(beta) + dd * std::log(alpha) - log_det -
-             beta * residual - alpha * m_squared -
-             nd * std::log(2.0 * std::numbers::pi));
-  return evidence / nd;
-}
-
-}  // namespace
-
 StatusOr<double> LogMeFromFeatures(const Matrix& features,
                                    const std::vector<int>& labels,
-                                   int num_target_labels) {
+                                   int num_target_labels,
+                                   kernels::KernelMode mode) {
   const size_t n = features.rows();
   const size_t dims = features.cols();
   if (n == 0 || dims == 0) {
@@ -96,52 +24,33 @@ StatusOr<double> LogMeFromFeatures(const Matrix& features,
       return Status::OutOfRange("LogME label out of range");
     }
   }
-
-  // Gram matrix F^T F (D x D) and its spectrum, shared by all classes.
-  Matrix gram(dims, dims, 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t a = 0; a < dims; ++a) {
-      const double fa = features.At(i, a);
-      if (fa == 0.0) continue;
-      for (size_t b = a; b < dims; ++b) {
-        gram.At(a, b) += fa * features.At(i, b);
-      }
-    }
-  }
-  for (size_t a = 0; a < dims; ++a) {
-    for (size_t b = 0; b < a; ++b) gram.At(a, b) = gram.At(b, a);
-  }
-  TPS_ASSIGN_OR_RETURN(SymmetricEigenResult gram_eigen,
-                       SymmetricEigen(gram, /*symmetry_tolerance=*/1e-6));
-
-  double total_evidence = 0.0;
-  for (int c = 0; c < num_target_labels; ++c) {
-    // One-vs-rest target vector.
-    std::vector<double> y(n, 0.0);
-    double yty = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      y[i] = labels[i] == c ? 1.0 : 0.0;
-      yty += y[i];
-    }
-    // F^T y.
-    std::vector<double> fty(dims, 0.0);
-    for (size_t i = 0; i < n; ++i) {
-      if (y[i] == 0.0) continue;
-      for (size_t a = 0; a < dims; ++a) fty[a] += features.At(i, a);
-    }
-    total_evidence += EvidenceForTarget(features, gram_eigen, fty, yty);
-  }
-  return total_evidence / static_cast<double>(num_target_labels);
+  const size_t num_target = static_cast<size_t>(num_target_labels);
+  return mode == kernels::KernelMode::kBatched
+             ? kernels::LogMeBatched(features, labels, num_target)
+             : kernels::LogMeReference(features, labels, num_target);
 }
 
 StatusOr<double> LogMeScorer::Score(const PretrainedModel& model,
                                     const Dataset& target) const {
   TPS_ASSIGN_OR_RETURN(Matrix features, model.ExtractFeatures(target));
-  std::vector<int> labels(target.size());
-  for (size_t i = 0; i < target.size(); ++i) {
-    labels[i] = target.examples()[i].label;
+  return LogMeFromFeatures(features, TargetLabels(target),
+                           target.spec().num_labels, mode_);
+}
+
+StatusOr<std::vector<double>> LogMeScorer::ScoreBatch(
+    const std::vector<const PretrainedModel*>& models,
+    const Dataset& target) const {
+  const std::vector<int> labels = TargetLabels(target);
+  std::vector<double> scores;
+  scores.reserve(models.size());
+  for (const PretrainedModel* model : models) {
+    TPS_ASSIGN_OR_RETURN(Matrix features, model->ExtractFeatures(target));
+    TPS_ASSIGN_OR_RETURN(
+        double score,
+        LogMeFromFeatures(features, labels, target.spec().num_labels, mode_));
+    scores.push_back(score);
   }
-  return LogMeFromFeatures(features, labels, target.spec().num_labels);
+  return scores;
 }
 
 }  // namespace tps

@@ -1,12 +1,13 @@
 #include "transfer/nce.h"
 
-#include <cmath>
+#include "transfer/kernels.h"
 
 namespace tps {
 
 StatusOr<double> NceFromPredictions(const Matrix& predictions,
                                     const std::vector<int>& labels,
-                                    int num_target_labels) {
+                                    int num_target_labels,
+                                    kernels::KernelMode mode) {
   const size_t n = predictions.rows();
   const size_t num_source = predictions.cols();
   if (n == 0 || num_source == 0) {
@@ -18,47 +19,41 @@ StatusOr<double> NceFromPredictions(const Matrix& predictions,
   if (num_target_labels < 2) {
     return Status::InvalidArgument("NCE needs at least 2 target labels");
   }
-
-  const size_t num_target = static_cast<size_t>(num_target_labels);
-  // Empirical joint of (y, argmax-z) counts.
-  Matrix counts(num_target, num_source, 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    const int y = labels[i];
+  for (int y : labels) {
     if (y < 0 || y >= num_target_labels) {
       return Status::OutOfRange("NCE label out of range");
     }
-    size_t best_z = 0;
-    for (size_t z = 1; z < num_source; ++z) {
-      if (predictions.At(i, z) > predictions.At(i, best_z)) best_z = z;
-    }
-    counts.At(static_cast<size_t>(y), best_z) += 1.0;
   }
-
-  // H(Y | Z) = sum_z P(z) * H(Y | Z = z).
-  double conditional_entropy = 0.0;
-  for (size_t z = 0; z < num_source; ++z) {
-    double nz = 0.0;
-    for (size_t y = 0; y < num_target; ++y) nz += counts.At(y, z);
-    if (nz <= 0.0) continue;
-    double h = 0.0;
-    for (size_t y = 0; y < num_target; ++y) {
-      const double p = counts.At(y, z) / nz;
-      if (p > 0.0) h -= p * std::log(p);
-    }
-    conditional_entropy += (nz / static_cast<double>(n)) * h;
-  }
-  return -conditional_entropy;
+  const size_t num_target = static_cast<size_t>(num_target_labels);
+  return mode == kernels::KernelMode::kBatched
+             ? kernels::NceBatched(predictions, labels, num_target)
+             : kernels::NceReference(predictions, labels, num_target);
 }
 
 StatusOr<double> NceScorer::Score(const PretrainedModel& model,
                                   const Dataset& target) const {
   TPS_ASSIGN_OR_RETURN(Matrix predictions,
                        model.PredictDistributions(target));
-  std::vector<int> labels(target.size());
-  for (size_t i = 0; i < target.size(); ++i) {
-    labels[i] = target.examples()[i].label;
+  return NceFromPredictions(predictions, TargetLabels(target),
+                            target.spec().num_labels, mode_);
+}
+
+StatusOr<std::vector<double>> NceScorer::ScoreBatch(
+    const std::vector<const PretrainedModel*>& models,
+    const Dataset& target) const {
+  const std::vector<int> labels = TargetLabels(target);
+  std::vector<double> scores;
+  scores.reserve(models.size());
+  for (const PretrainedModel* model : models) {
+    TPS_ASSIGN_OR_RETURN(Matrix predictions,
+                         model->PredictDistributions(target));
+    TPS_ASSIGN_OR_RETURN(
+        double score,
+        NceFromPredictions(predictions, labels, target.spec().num_labels,
+                           mode_));
+    scores.push_back(score);
   }
-  return NceFromPredictions(predictions, labels, target.spec().num_labels);
+  return scores;
 }
 
 }  // namespace tps

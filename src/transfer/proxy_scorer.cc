@@ -9,12 +9,32 @@
 
 namespace tps {
 
+StatusOr<std::vector<double>> ProxyScorer::ScoreBatch(
+    const std::vector<const PretrainedModel*>& models,
+    const Dataset& target) const {
+  std::vector<double> scores;
+  scores.reserve(models.size());
+  for (const PretrainedModel* model : models) {
+    TPS_ASSIGN_OR_RETURN(double score, Score(*model, target));
+    scores.push_back(score);
+  }
+  return scores;
+}
+
 StatusOr<std::unique_ptr<ProxyScorer>> MakeProxyScorer(
-    const std::string& name) {
-  if (name == "leep") return std::unique_ptr<ProxyScorer>(new LeepScorer());
-  if (name == "nce") return std::unique_ptr<ProxyScorer>(new NceScorer());
-  if (name == "logme") return std::unique_ptr<ProxyScorer>(new LogMeScorer());
-  if (name == "knn") return std::unique_ptr<ProxyScorer>(new KnnScorer());
+    const std::string& name, kernels::KernelMode mode) {
+  if (name == "leep") {
+    return std::unique_ptr<ProxyScorer>(new LeepScorer(mode));
+  }
+  if (name == "nce") {
+    return std::unique_ptr<ProxyScorer>(new NceScorer(mode));
+  }
+  if (name == "logme") {
+    return std::unique_ptr<ProxyScorer>(new LogMeScorer(mode));
+  }
+  if (name == "knn") {
+    return std::unique_ptr<ProxyScorer>(new KnnScorer(/*k=*/5, mode));
+  }
   return Status::InvalidArgument("unknown proxy scorer: " + name);
 }
 
@@ -31,6 +51,14 @@ std::vector<double> MinMaxNormalize(const std::vector<double>& scores) {
     out[i] = (scores[i] - lo) / (hi - lo);
   }
   return out;
+}
+
+std::vector<int> TargetLabels(const Dataset& target) {
+  std::vector<int> labels(target.size());
+  for (size_t i = 0; i < target.size(); ++i) {
+    labels[i] = target.examples()[i].label;
+  }
+  return labels;
 }
 
 }  // namespace tps

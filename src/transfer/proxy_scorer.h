@@ -7,6 +7,7 @@
 
 #include "data/dataset.h"
 #include "model/pretrained_model.h"
+#include "transfer/kernels.h"
 #include "util/statusor.h"
 
 namespace tps {
@@ -29,16 +30,34 @@ class ProxyScorer {
   /// differ.
   virtual StatusOr<double> Score(const PretrainedModel& model,
                                  const Dataset& target) const = 0;
+
+  /// Batched entry point: scores every model against the same target,
+  /// sharing per-target setup (label extraction, scratch) across models.
+  /// Result order matches `models`. Bit-identical to calling Score() in a
+  /// loop — the parallel-equivalence suite compares the two paths with ==.
+  /// The base implementation is that loop; the concrete scorers override
+  /// it with the shared-setup version.
+  virtual StatusOr<std::vector<double>> ScoreBatch(
+      const std::vector<const PretrainedModel*>& models,
+      const Dataset& target) const;
 };
 
-/// Constructs a scorer by name; InvalidArgument for unknown names.
+/// Constructs a scorer by name; InvalidArgument for unknown names. `mode`
+/// selects the kernel family every score is computed with (bit-identical
+/// by contract; kReference retains the scalar loops for the differential
+/// harness).
 StatusOr<std::unique_ptr<ProxyScorer>> MakeProxyScorer(
-    const std::string& name);
+    const std::string& name,
+    kernels::KernelMode mode = kernels::KernelMode::kBatched);
 
 /// Min-max normalizes scores to [0, 1] (the paper normalizes LEEP before
 /// combining it with the prior accuracy in the recall score). A constant
 /// vector maps to all 0.5.
 std::vector<double> MinMaxNormalize(const std::vector<double>& scores);
+
+/// The per-example labels of `target`, in example order — the shared
+/// second input of every proxy kernel.
+std::vector<int> TargetLabels(const Dataset& target);
 
 }  // namespace tps
 

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Static guard against AoS regressions on the proxy-scoring hot path.
+#
+# The vectorized kernels (src/transfer/kernels.cc) own all per-element
+# math; the scorer wrappers validate and dispatch, and the recall-side
+# call sites consume SoA layouts through the vec:: helpers. This script
+# greps for the patterns that would quietly reintroduce the old
+# element-at-a-time structure — it is a tripwire, not a proof, and it
+# runs exit-code-audit style as the `no_aos_regression` ctest.
+#
+#   usage: check_no_aos_regression.sh <repo-root>
+
+set -u
+
+if [[ $# -ne 1 ]]; then
+  echo "usage: $0 <repo-root>" >&2
+  exit 2
+fi
+
+ROOT=$1
+SRC=$ROOT/src
+FAILURES=0
+
+fail() {
+  echo "FAIL: $1" >&2
+  shift
+  for line in "$@"; do echo "  $line" >&2; done
+  FAILURES=$((FAILURES + 1))
+}
+
+# 1. Scorer wrappers stay validate-and-dispatch: no Matrix::At element
+#    access — per-element math belongs in kernels.cc.
+for f in leep.cc nce.cc logme.cc knn_proxy.cc proxy_scorer.cc; do
+  hits=$(grep -n "\.At(" "$SRC/transfer/$f" || true)
+  if [[ -n "$hits" ]]; then
+    fail "src/transfer/$f uses Matrix::At — move the loop into kernels.cc" \
+         "$hits"
+  else
+    echo "ok: src/transfer/$f has no element-at-a-time math"
+  fi
+done
+
+# 2. The SoA forward pass: vec::Dot (the AoS row-by-row dot) must appear in
+#    pretrained_model.cc only inside the retained *Reference section.
+ref_line=$(grep -n "ExtractFeaturesReference(" "$SRC/model/pretrained_model.cc" \
+  | head -1 | cut -d: -f1)
+if [[ -z "$ref_line" ]]; then
+  fail "pretrained_model.cc: ExtractFeaturesReference definition not found"
+else
+  early=$(grep -n "vec::Dot(" "$SRC/model/pretrained_model.cc" \
+    | awk -F: -v ref="$ref_line" '$1 < ref' || true)
+  if [[ -n "$early" ]]; then
+    fail "pretrained_model.cc calls vec::Dot on the hot path (before the Reference section at line $ref_line)" \
+         "$early"
+  else
+    echo "ok: pretrained_model.cc keeps vec::Dot inside the Reference section"
+  fi
+fi
+
+# 3. Reference kernels are a differential-test oracle, not an API: nothing
+#    in src/ outside transfer/ and the model's own Reference pair may call
+#    them. (Tests and benches may — they prove the equivalence.)
+callers=$(grep -rn "Reference(" "$SRC" --include='*.cc' --include='*.h' \
+  | grep -v "^$SRC/transfer/" \
+  | grep -v "^$SRC/model/pretrained_model\.\(h\|cc\)" || true)
+if [[ -n "$callers" ]]; then
+  fail "reference kernels referenced outside src/transfer and the model's Reference pair" \
+       "$callers"
+else
+  echo "ok: reference kernels only referenced from src/transfer and pretrained_model"
+fi
+
+# 4. The recall-side call sites that were converted to SoA / row-pointer
+#    form must not regrow Matrix::At loops.
+for f in core/coarse_recall.cc core/task_similarity.cc; do
+  hits=$(grep -n "\.At(" "$SRC/$f" || true)
+  if [[ -n "$hits" ]]; then
+    fail "src/$f reintroduced Matrix::At on the recall hot path" "$hits"
+  else
+    echo "ok: src/$f stays on the SoA/row-pointer form"
+  fi
+done
+
+if [[ $FAILURES -ne 0 ]]; then
+  echo "$FAILURES AoS regression check(s) failed" >&2
+  exit 1
+fi
+echo "no AoS regressions detected"
