@@ -22,6 +22,7 @@
 #include "bench/harness.h"
 #include "bench/telemetry.h"
 #include "serve/service.h"
+#include "util/stats.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -46,14 +47,6 @@ struct LoadResult {
   double p99_ms = 0.0;
   ServiceStats stats;
 };
-
-double Percentile(std::vector<double> sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const size_t index = std::min(
-      sorted.size() - 1,
-      static_cast<size_t>(p * static_cast<double>(sorted.size() - 1)));
-  return sorted[index];
-}
 
 /// Closed loop: each client thread issues its next request only after the
 /// previous one resolved, round-robining over the domain's target sets.
@@ -93,12 +86,11 @@ LoadResult RunLoad(SelectionService& service,
   for (const auto& per_client : latencies) {
     all.insert(all.end(), per_client.begin(), per_client.end());
   }
-  std::sort(all.begin(), all.end());
   LoadResult result;
   result.wall_ms = wall_ms;
   result.qps = static_cast<double>(all.size()) / (wall_ms / 1000.0);
-  result.p50_ms = Percentile(all, 0.50);
-  result.p99_ms = Percentile(all, 0.99);
+  result.p50_ms = stats::Percentile(all, 50.0);
+  result.p99_ms = stats::Percentile(all, 99.0);
   result.stats = service.Stats();
   return result;
 }
@@ -142,12 +134,11 @@ LoadResult RunStampede(SelectionService& service,
     std::cerr << "warning: " << failures.load()
               << " requests failed during the stampede run\n";
   }
-  std::sort(all.begin(), all.end());
   LoadResult result;
   result.wall_ms = wall_ms;
   result.qps = static_cast<double>(all.size()) / (wall_ms / 1000.0);
-  result.p50_ms = Percentile(all, 0.50);
-  result.p99_ms = Percentile(all, 0.99);
+  result.p50_ms = stats::Percentile(all, 50.0);
+  result.p99_ms = stats::Percentile(all, 99.0);
   result.stats = service.Stats();
   return result;
 }

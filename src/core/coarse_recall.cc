@@ -122,6 +122,7 @@ StatusOr<RecallResult> CoarseRecall::Recall(const Dataset& target,
               key.dataset_fingerprint = target_fingerprint;
               key.model = model.name();
               key.scorer = scorer->name();
+              key.artifact_epoch = options.artifact_epoch;
               TPS_ASSIGN_OR_RETURN(
                   raw_scores[i],
                   options.flight_group->GetOrCompute(
@@ -135,7 +136,8 @@ StatusOr<RecallResult> CoarseRecall::Recall(const Dataset& target,
             } else if (options.score_cache != nullptr) {
               TPS_ASSIGN_OR_RETURN(
                   raw_scores[i],
-                  options.score_cache->GetOrCompute(*scorer, model, target));
+                  options.score_cache->GetOrCompute(*scorer, model, target,
+                                                    options.artifact_epoch));
             } else {
               TPS_ASSIGN_OR_RETURN(raw_scores[i],
                                    scorer->Score(model, target));

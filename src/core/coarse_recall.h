@@ -61,6 +61,12 @@ struct RecallOptions {
   /// bit-identical to computing independently — see
   /// tests/serve/coalescing_test.cc. nullptr disables coalescing.
   ProxyFlightGroup* flight_group = nullptr;
+  /// Artifact version this request was admitted against ("Serving: hot
+  /// artifact swap" in DESIGN.md). Tagged into every cache/flight key so
+  /// scores computed under one artifact version are never observed by a
+  /// request running against another, even mid-swap. 0 (the default) is
+  /// the never-swapped epoch used by embedded callers.
+  uint64_t artifact_epoch = 0;
   /// Which kernel family the proxy scorers compute with. kBatched (the
   /// default) is the SoA vectorized hot path; kReference retains the
   /// original scalar loops. Both are bit-identical by contract (the

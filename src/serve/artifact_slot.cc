@@ -1,0 +1,29 @@
+#include "serve/artifact_slot.h"
+
+#include <utility>
+
+namespace tps {
+namespace serve {
+
+ArtifactSlot::ArtifactSlot(std::shared_ptr<const ArtifactSnapshot> initial)
+    : current_(std::move(initial)), version_(current_->version) {}
+
+std::shared_ptr<const ArtifactSnapshot> ArtifactSlot::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+std::shared_ptr<const ArtifactSnapshot> ArtifactSlot::Publish(
+    std::shared_ptr<const ArtifactSnapshot> next) {
+  std::shared_ptr<const ArtifactSnapshot> retired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired = std::move(current_);
+    current_ = std::move(next);
+    version_.store(current_->version, std::memory_order_release);
+  }
+  return retired;
+}
+
+}  // namespace serve
+}  // namespace tps

@@ -1,0 +1,82 @@
+#ifndef TPS_SERVE_ARTIFACT_SLOT_H_
+#define TPS_SERVE_ARTIFACT_SLOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/two_phase.h"
+#include "serve/artifacts.h"
+#include "sim/finetune_simulator.h"
+
+namespace tps {
+namespace serve {
+
+/// One immutable published artifact version plus the pipeline objects that
+/// point into it ("Serving: hot artifact swap" in DESIGN.md). Requests
+/// acquire a shared_ptr to the snapshot at admission and keep it for their
+/// whole lifetime, so everything one request reads — zoo, matrix,
+/// clustering, selector — comes from a single version even while a newer
+/// one is being published. Construct via make_shared only: the selector
+/// holds pointers into this object's own members, so the snapshot must
+/// never be moved or copied after construction.
+struct ArtifactSnapshot {
+  ArtifactSnapshot(ServiceArtifacts artifacts_in, uint64_t version_in)
+      : artifacts(std::move(artifacts_in)),
+        version(version_in),
+        selector(&artifacts.zoo, &artifacts.matrix, &artifacts.clustering,
+                 &simulator) {}
+
+  ArtifactSnapshot(const ArtifactSnapshot&) = delete;
+  ArtifactSnapshot& operator=(const ArtifactSnapshot&) = delete;
+
+  const ServiceArtifacts artifacts;
+  /// Monotonic artifact version, starting at 1 for the artifacts the
+  /// service was created with. Doubles as the cache/flight epoch
+  /// (ProxyCacheKey::artifact_epoch).
+  const uint64_t version;
+  FineTuneSimulator simulator;
+  TwoPhaseSelector selector;
+};
+
+/// RCU-style holder for the current ArtifactSnapshot. Readers (requests)
+/// call Acquire() once at admission and never block on a publisher;
+/// Publish() swaps the current pointer under a short critical section and
+/// returns the retired version to whoever still holds it — the old
+/// snapshot is destroyed when the last in-flight request drops its
+/// shared_ptr, never under a lock and never while anyone can still read
+/// it. There is no reader registry and no quiescent-state tracking; the
+/// shared_ptr control block IS the grace period.
+class ArtifactSlot {
+ public:
+  explicit ArtifactSlot(std::shared_ptr<const ArtifactSnapshot> initial);
+
+  ArtifactSlot(const ArtifactSlot&) = delete;
+  ArtifactSlot& operator=(const ArtifactSlot&) = delete;
+
+  /// The current snapshot (never null). O(1), wait-free for practical
+  /// purposes: one uncontended mutex acquisition and a shared_ptr copy.
+  std::shared_ptr<const ArtifactSnapshot> Acquire() const;
+
+  /// Atomically replaces the current snapshot and returns the retired one
+  /// (so a caller may inspect or log it; dropping the return value retires
+  /// it as soon as in-flight requests finish).
+  std::shared_ptr<const ArtifactSnapshot> Publish(
+      std::shared_ptr<const ArtifactSnapshot> next);
+
+  /// Version of the currently published snapshot (lock-free read).
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ArtifactSnapshot> current_;
+  std::atomic<uint64_t> version_;
+};
+
+}  // namespace serve
+}  // namespace tps
+
+#endif  // TPS_SERVE_ARTIFACT_SLOT_H_

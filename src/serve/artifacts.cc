@@ -56,15 +56,35 @@ StatusOr<ServiceArtifacts> ServiceArtifacts::Load(
   };
   TPS_ASSIGN_OR_RETURN(PerformanceMatrix matrix, load_matrix());
   TPS_ASSIGN_OR_RETURN(ModelClustering clustering, load_clustering());
+  ServiceArtifacts artifacts{std::move(registry), std::move(zoo),
+                             std::move(matrix), std::move(clustering),
+                             paths.domain};
+  TPS_RETURN_NOT_OK(artifacts.Validate());
+  return artifacts;
+}
+
+Status ServiceArtifacts::Validate() const {
   if (matrix.num_models() != zoo.size() ||
       clustering.clusters.assignments.size() != zoo.size()) {
     return Status::FailedPrecondition(
-        "artifacts do not match the " + std::string(ToString(paths.domain)) +
+        "artifacts do not match the " + std::string(ToString(domain)) +
         " paper zoo; rebuild with `tps_cli offline`");
   }
-  return ServiceArtifacts{std::move(registry), std::move(zoo),
-                          std::move(matrix), std::move(clustering),
-                          paths.domain};
+  if (clustering.representatives.size() !=
+      static_cast<size_t>(clustering.clusters.num_clusters)) {
+    return Status::FailedPrecondition(
+        "clustering has " + std::to_string(clustering.representatives.size()) +
+        " representatives for " +
+        std::to_string(clustering.clusters.num_clusters) + " clusters");
+  }
+  for (size_t rep : clustering.representatives) {
+    if (rep >= zoo.size()) {
+      return Status::FailedPrecondition(
+          "clustering representative index " + std::to_string(rep) +
+          " is outside the zoo");
+    }
+  }
+  return Status::OK();
 }
 
 StatusOr<ServiceArtifacts> ServiceArtifacts::Build(TaskDomain domain,

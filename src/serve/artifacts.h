@@ -35,6 +35,12 @@ struct ServiceArtifacts {
   ModelClustering clustering;
   TaskDomain domain = TaskDomain::kNLP;
 
+  /// Internal-consistency check run before artifacts are served: the
+  /// matrix and clustering must cover exactly this zoo. Load() runs it on
+  /// every load; SelectionService::Reload runs it again before publishing,
+  /// so a bad artifact file can never replace a good serving version.
+  Status Validate() const;
+
   /// Loads previously persisted artifacts (store or files) and validates
   /// they match the paper zoo for the domain. The store is opened
   /// read-only-in-spirit: it is opened, read, and closed before this

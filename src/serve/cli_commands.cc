@@ -121,8 +121,11 @@ int RunServe(const FlagParser& flags) {
   if (!server_or.ok()) return Fail(server_or.status());
   SelectionServer& server = **server_or;
 
-  std::cout << "serving " << ToString(service.artifacts().domain)
-            << " zoo (" << service.artifacts().zoo.size() << " models)\n";
+  {
+    const auto snapshot = service.snapshot();
+    std::cout << "serving " << ToString(snapshot->artifacts.domain)
+              << " zoo (" << snapshot->artifacts.zoo.size() << " models)\n";
+  }
   if (!server.unix_path().empty()) {
     std::cout << "  unix socket -> " << server.unix_path() << "\n";
   }
@@ -148,7 +151,11 @@ int RunServe(const FlagParser& flags) {
   return 0;
 }
 
-int RunQuery(const FlagParser& flags) {
+namespace {
+
+/// Shared body of `query` and `reload`; `forced_cmd` overrides --cmd when
+/// non-empty.
+int RunQueryImpl(const FlagParser& flags, const std::string& forced_cmd) {
   const std::string socket_path = flags.GetString("socket");
   StatusOr<Socket> socket_or = Status::InvalidArgument(
       "--socket=PATH or --port=N is required");
@@ -162,7 +169,8 @@ int RunQuery(const FlagParser& flags) {
   if (!socket_or.ok()) return Fail(socket_or.status());
   Socket socket = std::move(*socket_or);
 
-  const std::string cmd = flags.GetString("cmd", "select");
+  const std::string cmd =
+      forced_cmd.empty() ? flags.GetString("cmd", "select") : forced_cmd;
   std::string line;
   if (cmd == "select") {
     auto request_or = RequestFromFlags(flags);
@@ -172,9 +180,24 @@ int RunQuery(const FlagParser& flags) {
     json::Value doc = json::Value::Object();
     doc.Set("cmd", json::Value::String(cmd));
     line = doc.Dump(-1);
+  } else if (cmd == "reload") {
+    // Same source flags as `serve` (--store/--id or --matrix/--clustering);
+    // the server supplies the domain itself.
+    json::Value doc = json::Value::Object();
+    doc.Set("cmd", json::Value::String(cmd));
+    for (const char* key : {"store", "id", "matrix", "clustering"}) {
+      const std::string value = flags.GetString(key);
+      if (!value.empty()) doc.Set(key, json::Value::String(value));
+    }
+    if (doc.Find("store") == nullptr && doc.Find("matrix") == nullptr) {
+      return Fail(Status::InvalidArgument(
+          "--cmd=reload needs --store or --matrix/--clustering"));
+    }
+    line = doc.Dump(-1);
   } else {
     return Fail(Status::InvalidArgument(
-        "--cmd must be select, ping, stats or shutdown; got '" + cmd + "'"));
+        "--cmd must be select, ping, stats, reload or shutdown; got '" +
+        cmd + "'"));
   }
 
   Status sent = socket.SendAll(line + "\n");
@@ -190,6 +213,14 @@ int RunQuery(const FlagParser& flags) {
   auto ok_or = doc_or->GetBool("ok");
   if (!ok_or.ok()) return Fail(ok_or.status());
   return *ok_or ? 0 : 1;
+}
+
+}  // namespace
+
+int RunQuery(const FlagParser& flags) { return RunQueryImpl(flags, ""); }
+
+int RunReload(const FlagParser& flags) {
+  return RunQueryImpl(flags, "reload");
 }
 
 }  // namespace serve

@@ -30,10 +30,16 @@ StatusOr<SelectionRequest> RequestFromFlags(const FlagParser& flags);
 int RunServe(const FlagParser& flags);
 
 /// `query`: connect to a running server (--socket=PATH or --port=N), send
-/// one request (--cmd=select|ping|stats|shutdown, default select), print
-/// the raw NDJSON reply line on stdout. Exit 0 iff the reply has
-/// "ok": true.
+/// one request (--cmd=select|ping|stats|reload|shutdown, default select),
+/// print the raw NDJSON reply line on stdout. For --cmd=reload the
+/// artifact source flags (--store/--id or --matrix/--clustering) name the
+/// new artifacts to hot-swap in. Exit 0 iff the reply has "ok": true.
 int RunQuery(const FlagParser& flags);
+
+/// `reload`: shorthand for `query --cmd=reload` — hot-swap a running
+/// server onto the artifacts named by --store/--id or
+/// --matrix/--clustering.
+int RunReload(const FlagParser& flags);
 
 }  // namespace serve
 }  // namespace tps

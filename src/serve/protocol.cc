@@ -42,11 +42,28 @@ StatusOr<WireRequest> ParseRequestLine(const std::string& line) {
     if (name == "select") {
       request.command = WireCommand::kSelect;
     } else if (name == "ping") {
-      return WireRequest{WireCommand::kPing, {}};
+      return WireRequest{WireCommand::kPing, {}, {}};
     } else if (name == "stats") {
-      return WireRequest{WireCommand::kStats, {}};
+      return WireRequest{WireCommand::kStats, {}, {}};
     } else if (name == "shutdown") {
-      return WireRequest{WireCommand::kShutdown, {}};
+      return WireRequest{WireCommand::kShutdown, {}, {}};
+    } else if (name == "reload") {
+      request.command = WireCommand::kReload;
+      for (const char* key : {"store", "id", "matrix", "clustering"}) {
+        if (doc.Find(key) == nullptr) continue;
+        TPS_ASSIGN_OR_RETURN(const std::string value, doc.GetString(key));
+        if (key == std::string("store")) request.reload.store = value;
+        if (key == std::string("id")) request.reload.id = value;
+        if (key == std::string("matrix")) request.reload.matrix = value;
+        if (key == std::string("clustering")) {
+          request.reload.clustering = value;
+        }
+      }
+      if (request.reload.store.empty() && request.reload.matrix.empty()) {
+        return Status::InvalidArgument(
+            "reload needs \"store\" or \"matrix\"/\"clustering\" paths");
+      }
+      return request;
     } else {
       return Status::InvalidArgument("unknown cmd: '" + name + "'");
     }
@@ -127,6 +144,8 @@ std::string ResponseToLine(const SelectionResponse& response) {
           json::Value::Number(response.inference_epochs));
   doc.Set("total_epochs", json::Value::Number(response.total_epochs));
   doc.Set("survivors", SizeArray(response.survivors_per_stage));
+  doc.Set("artifact_version", json::Value::Int(static_cast<int64_t>(
+                                  response.artifact_version)));
   doc.Set("wall_ms", json::Value::Number(response.wall_ms));
   doc.Set("cache_hits",
           json::Value::Int(static_cast<int64_t>(response.cache_hits)));
@@ -164,6 +183,10 @@ std::string StatsToLine(const ServiceStats& stats) {
   json::Value inner = json::Value::Object();
   inner.Set("queue_depth",
             json::Value::Int(static_cast<int64_t>(stats.queue_depth)));
+  inner.Set("artifact_version", json::Value::Int(static_cast<int64_t>(
+                                    stats.artifact_version)));
+  inner.Set("reloads",
+            json::Value::Int(static_cast<int64_t>(stats.reloads)));
   inner.Set("admitted",
             json::Value::Int(static_cast<int64_t>(stats.admitted)));
   inner.Set("rejected",
@@ -191,6 +214,15 @@ std::string ShutdownAckLine() {
   json::Value doc = json::Value::Object();
   doc.Set("ok", json::Value::Bool(true));
   doc.Set("shutting_down", json::Value::Bool(true));
+  return doc.Dump(-1);
+}
+
+std::string ReloadAckLine(uint64_t artifact_version) {
+  json::Value doc = json::Value::Object();
+  doc.Set("ok", json::Value::Bool(true));
+  doc.Set("reloaded", json::Value::Bool(true));
+  doc.Set("artifact_version",
+          json::Value::Int(static_cast<int64_t>(artifact_version)));
   return doc.Dump(-1);
 }
 
@@ -225,6 +257,11 @@ StatusOr<SelectionResponse> ParseResponseLine(const std::string& line) {
     }
     response.survivors_per_stage.push_back(
         static_cast<size_t>(item.number()));
+  }
+  if (doc.Find("artifact_version") != nullptr) {
+    TPS_ASSIGN_OR_RETURN(const double version,
+                         doc.GetNumber("artifact_version"));
+    response.artifact_version = static_cast<uint64_t>(version);
   }
   TPS_ASSIGN_OR_RETURN(response.wall_ms, doc.GetNumber("wall_ms"));
   TPS_ASSIGN_OR_RETURN(const double hits, doc.GetNumber("cache_hits"));

@@ -29,15 +29,30 @@ namespace serve {
 ///   {"cmd": "shutdown"} -> {"ok": true, "shutting_down": true}, then the
 ///                          server stops accepting and drains.
 ///
+///   reload (zero-downtime artifact hot swap):
+///     {"cmd": "reload", "store": "PATH", "id": "nlp"}        // or
+///     {"cmd": "reload", "matrix": "PATH", "clustering": "PATH"}
+///     -> {"ok": true, "reloaded": true, "artifact_version": 2}
+///     The artifacts load and validate on the connection thread, entirely
+///     off the serving path; on any failure nothing is published and the
+///     current version keeps serving. The domain is the server's own (a
+///     reload can never flip an NLP server to CV).
+///
+/// Select replies carry "artifact_version": the artifact version the
+/// request was served against (1 until the first reload).
+///
 /// Failures (parse errors, unknown targets, queue-full rejection, deadline
 /// expiry) are `{"ok": false, "code": "<StatusCodeName>", "error":
 /// "<message>"}` — the connection stays open; one bad line never tears
 /// down a session.
-enum class WireCommand { kSelect, kPing, kStats, kShutdown };
+enum class WireCommand { kSelect, kPing, kStats, kShutdown, kReload };
 
 struct WireRequest {
   WireCommand command = WireCommand::kSelect;
   SelectionRequest select;  // Only meaningful for kSelect.
+  /// Only meaningful for kReload. `domain` is NOT parsed from the wire —
+  /// the server overwrites it with its own serving domain.
+  ArtifactPaths reload;
 };
 
 /// Parses one request line. InvalidArgument on malformed JSON, a non-object
@@ -62,6 +77,9 @@ std::string StatsToLine(const ServiceStats& stats);
 
 /// {"ok": true, "shutting_down": true}
 std::string ShutdownAckLine();
+
+/// {"ok": true, "reloaded": true, "artifact_version": N}
+std::string ReloadAckLine(uint64_t artifact_version);
 
 /// Client-side decode of a reply line: OK and the parsed object when
 /// `"ok": true`; the transported Status (code restored from "code")

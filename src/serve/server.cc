@@ -28,12 +28,16 @@ StatusOr<std::unique_ptr<SelectionServer>> SelectionServer::Start(
     listeners.push_back(std::move(listener));
   }
   return std::unique_ptr<SelectionServer>(
-      new SelectionServer(service, std::move(listeners)));
+      new SelectionServer(service, std::move(listeners), options));
 }
 
 SelectionServer::SelectionServer(SelectionService* service,
-                                 std::vector<ServerSocket> listeners)
-    : service_(service), listeners_(std::move(listeners)) {
+                                 std::vector<ServerSocket> listeners,
+                                 const ServerOptions& options)
+    : service_(service),
+      listeners_(std::move(listeners)),
+      max_line_bytes_(options.max_line_bytes),
+      pre_reply_hook_(options.pre_reply_hook) {
   for (ServerSocket& listener : listeners_) {
     if (!listener.unix_path().empty()) unix_path_ = listener.unix_path();
     if (listener.port() > 0) tcp_port_ = listener.port();
@@ -49,21 +53,65 @@ SelectionServer::~SelectionServer() { Shutdown(); }
 void SelectionServer::AcceptLoop(ServerSocket* listener) {
   for (;;) {
     StatusOr<Socket> accepted = listener->Accept();
+    // Whether or not a client arrived, clean up after connections that
+    // finished since the last pass — the bookkeeping stays O(live
+    // connections) over a server's lifetime instead of growing by one
+    // thread + one socket per client ever served.
+    ReapFinishedConnections();
     if (!accepted.ok()) return;  // Unavailable after Shutdown, or fatal.
     auto socket = std::make_shared<Socket>(std::move(*accepted));
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return;  // Late straggler: drop the connection.
-    connections_.push_back(socket);
-    connection_threads_.emplace_back(
-        [this, socket] { HandleConnection(socket); });
+    const uint64_t id = next_connection_id_++;
+    Connection connection;
+    connection.socket = socket;
+    connection.thread = std::thread([this, socket, id] {
+      HandleConnection(std::move(socket));
+      std::lock_guard<std::mutex> done_lock(mu_);
+      finished_.push_back(id);
+    });
+    connections_.emplace(id, std::move(connection));
   }
+}
+
+void SelectionServer::ReapFinishedConnections() {
+  std::vector<Connection> reaped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    reaped.reserve(finished_.size());
+    for (const uint64_t id : finished_) {
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;  // Already joined by Shutdown.
+      reaped.push_back(std::move(it->second));
+      connections_.erase(it);
+    }
+    finished_.clear();
+  }
+  // Join outside the lock: the handler pushed its id just before
+  // returning, so this blocks at most for the tail of that thread's exit.
+  for (Connection& connection : reaped) connection.thread.join();
+}
+
+size_t SelectionServer::tracked_connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connections_.size();
 }
 
 void SelectionServer::HandleConnection(std::shared_ptr<Socket> socket) {
   std::string buffer;
   for (;;) {
-    StatusOr<std::string> line_or = socket->RecvLine(&buffer);
-    if (!line_or.ok()) return;  // Peer closed (or we were shut down).
+    StatusOr<std::string> line_or = socket->RecvLine(&buffer, max_line_bytes_);
+    if (!line_or.ok()) {
+      // An oversized line was discarded by RecvLine with the stream left
+      // framed on the next line: answer the error and keep the session.
+      if (line_or.status().IsInvalidArgument()) {
+        if (!socket->SendAll(ErrorToLine(line_or.status()) + "\n").ok()) {
+          return;
+        }
+        continue;
+      }
+      return;  // Peer closed (or we were shut down).
+    }
     if (line_or->empty()) continue;  // Tolerate blank keep-alive lines.
     StatusOr<WireRequest> request_or = ParseRequestLine(*line_or);
     if (!request_or.ok()) {
@@ -86,6 +134,16 @@ void SelectionServer::HandleConnection(std::shared_ptr<Socket> socket) {
         reply = ShutdownAckLine();
         shutdown_after = true;
         break;
+      case WireCommand::kReload: {
+        // Load + validate + publish run right here on the connection
+        // thread; in-flight selects keep serving their admitted version.
+        ArtifactPaths source = std::move(request_or->reload);
+        source.domain = service_->snapshot()->artifacts.domain;
+        const Status status = service_->Reload(source);
+        reply = status.ok() ? ReloadAckLine(service_->artifact_version())
+                            : ErrorToLine(status);
+        break;
+      }
       case WireCommand::kSelect: {
         // Submit, not Handle: socket traffic goes through the same
         // admission control and deadline accounting as embedded callers.
@@ -95,11 +153,16 @@ void SelectionServer::HandleConnection(std::shared_ptr<Socket> socket) {
         break;
       }
     }
-    if (!socket->SendAll(reply + "\n").ok()) return;
+    if (pre_reply_hook_) pre_reply_hook_();
+    const bool reply_sent = socket->SendAll(reply + "\n").ok();
     if (shutdown_after) {
+      // The shutdown was ACCEPTED when the command parsed; the ack is
+      // best-effort. A client that sends `shutdown` and disconnects
+      // without reading the reply must still stop the server.
       RequestShutdown();  // Wait()/destructor performs the join.
       return;
     }
+    if (!reply_sent) return;
   }
 }
 
@@ -108,8 +171,8 @@ void SelectionServer::RequestShutdown() {
   if (stopping_) return;
   stopping_ = true;
   for (ServerSocket& listener : listeners_) listener.Shutdown();
-  for (const std::shared_ptr<Socket>& connection : connections_) {
-    connection->ShutdownBoth();
+  for (auto& [id, connection] : connections_) {
+    connection.socket->ShutdownBoth();
   }
   stopped_cv_.notify_all();
 }
@@ -131,16 +194,17 @@ void SelectionServer::Shutdown() {
   for (std::thread& thread : accepts) thread.join();
   // After the accept threads are gone no new connection threads can be
   // spawned, so this snapshot is complete.
-  std::vector<std::thread> connections;
+  std::vector<Connection> remaining;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    connections.swap(connection_threads_);
-  }
-  for (std::thread& thread : connections) thread.join();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
+    remaining.reserve(connections_.size());
+    for (auto& [id, connection] : connections_) {
+      remaining.push_back(std::move(connection));
+    }
     connections_.clear();
+    finished_.clear();
   }
+  for (Connection& connection : remaining) connection.thread.join();
   for (ServerSocket& listener : listeners_) listener.Close();
 }
 

@@ -21,6 +21,7 @@ StatusOr<std::unique_ptr<SelectionService>> SelectionService::Create(
   if (options.default_deadline_ms < 0.0) {
     return Status::InvalidArgument("default_deadline_ms must be >= 0");
   }
+  TPS_RETURN_NOT_OK(artifacts.Validate());
   // unique_ptr over make_unique: the constructor is private.
   return std::unique_ptr<SelectionService>(
       new SelectionService(std::move(artifacts), options));
@@ -28,15 +29,14 @@ StatusOr<std::unique_ptr<SelectionService>> SelectionService::Create(
 
 SelectionService::SelectionService(ServiceArtifacts artifacts,
                                    const ServiceOptions& options)
-    : artifacts_(std::move(artifacts)),
-      options_(options),
+    : options_(options),
       metrics_(options.metrics != nullptr ? options.metrics
                                           : MetricsRegistry::Default()),
-      selector_(&artifacts_.zoo, &artifacts_.matrix, &artifacts_.clustering,
-                &simulator_) {
+      slot_(std::make_shared<const ArtifactSnapshot>(std::move(artifacts),
+                                                     /*version=*/1)) {
   if (options_.pipeline_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(ThreadPool::ClampThreads(
-        options_.pipeline_threads, artifacts_.zoo.size()));
+        options_.pipeline_threads, slot_.Acquire()->artifacts.zoo.size()));
   }
   if (options_.cache_capacity > 0) {
     cache_ = std::make_unique<ProxyScoreCache>(options_.cache_capacity,
@@ -45,6 +45,7 @@ SelectionService::SelectionService(ServiceArtifacts artifacts,
   if (options_.coalesce_proxies) {
     flight_ = std::make_unique<ProxyFlightGroup>(metrics_);
   }
+  metrics_->gauge("serve.artifact_version").Set(1.0);
   workers_.reserve(static_cast<size_t>(options_.worker_threads));
   for (int i = 0; i < options_.worker_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -63,13 +64,42 @@ SelectionService::~SelectionService() {
   for (QueuedRequest& queued : abandoned) {
     SelectionResponse response;
     response.target = queued.request.target;
+    response.artifact_version = queued.snapshot->version;
     response.status = Status::Unavailable("service shutting down");
     queued.promise.set_value(std::move(response));
   }
 }
 
+Status SelectionService::Reload(ServiceArtifacts artifacts) {
+  // Validate BEFORE publishing: a malformed artifact set must never
+  // replace a healthy serving version.
+  TPS_RETURN_NOT_OK(artifacts.Validate());
+  {
+    std::lock_guard<std::mutex> lock(reload_mu_);
+    const uint64_t next_version = slot_.version() + 1;
+    slot_.Publish(std::make_shared<const ArtifactSnapshot>(
+        std::move(artifacts), next_version));
+    // The retired snapshot (Publish's return value) is dropped here; it is
+    // destroyed once the last in-flight request releases its reference.
+  }
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  metrics_->counter("serve.reloads").Increment();
+  metrics_->gauge("serve.artifact_version")
+      .Set(static_cast<double>(slot_.version()));
+  return Status::OK();
+}
+
+Status SelectionService::Reload(const ArtifactPaths& source) {
+  // The load + validation run on the caller's thread; serving threads see
+  // nothing until the pointer swap inside Reload(ServiceArtifacts).
+  TPS_ASSIGN_OR_RETURN(ServiceArtifacts artifacts,
+                       ServiceArtifacts::Load(source));
+  return Reload(std::move(artifacts));
+}
+
 SelectionResponse SelectionService::Handle(const SelectionRequest& request) {
   metrics_->counter("serve.requests").Increment();
+  const std::shared_ptr<const ArtifactSnapshot> snapshot = slot_.Acquire();
   const double deadline_ms = request.deadline_ms > 0.0
                                  ? request.deadline_ms
                                  : options_.default_deadline_ms;
@@ -79,7 +109,7 @@ SelectionResponse SelectionService::Handle(const SelectionRequest& request) {
     token.SetDeadlineAfterMillis(deadline_ms);
     token_ptr = &token;
   }
-  return Run(request, token_ptr);
+  return Run(request, token_ptr, *snapshot);
 }
 
 std::future<SelectionResponse> SelectionService::Submit(
@@ -87,6 +117,9 @@ std::future<SelectionResponse> SelectionService::Submit(
   metrics_->counter("serve.requests").Increment();
   QueuedRequest queued;
   queued.request = std::move(request);
+  // Snapshot acquired at admission: whatever Reloads land while this
+  // request is queued, it runs against the version that admitted it.
+  queued.snapshot = slot_.Acquire();
   queued.enqueued_at = std::chrono::steady_clock::now();
   const double deadline_ms = queued.request.deadline_ms > 0.0
                                  ? queued.request.deadline_ms
@@ -117,6 +150,7 @@ std::future<SelectionResponse> SelectionService::Submit(
   metrics_->counter("serve.rejected").Increment();
   SelectionResponse response;
   response.target = queued.request.target;
+  response.artifact_version = queued.snapshot->version;
   response.status = Status::Unavailable(
       "request queue full (" + std::to_string(options_.max_queue) +
       " deep); retry later");
@@ -144,31 +178,36 @@ void SelectionService::WorkerLoop() {
             .count();
     metrics_->histogram("serve.queue_wait_us").Record(queue_wait_us);
     queued.promise.set_value(
-        Run(queued.request, queued.token.get()));
+        Run(queued.request, queued.token.get(), *queued.snapshot));
+    // queued goes out of scope here, releasing the snapshot reference —
+    // the last release after a Reload destroys the retired version.
   }
 }
 
 SelectionResponse SelectionService::Run(const SelectionRequest& request,
-                                        const CancelToken* token) {
+                                        const CancelToken* token,
+                                        const ArtifactSnapshot& snapshot) {
   WallTimer timer;
   SelectionResponse response;
   response.target = request.target;
+  response.artifact_version = snapshot.version;
 
   const uint64_t hits_before = cache_ != nullptr ? cache_->hits() : 0;
   const uint64_t misses_before = cache_ != nullptr ? cache_->misses() : 0;
 
+  const ServiceArtifacts& artifacts = snapshot.artifacts;
   auto run = [&]() -> Status {
     // A request that expired in the queue is answered without touching
     // the pipeline.
     TPS_RETURN_NOT_OK(CheckCancel(token, "admission"));
     TPS_ASSIGN_OR_RETURN(const Dataset* target,
-                         artifacts_.registry.Find(request.target));
-    if (target->spec().domain != artifacts_.domain) {
+                         artifacts.registry.Find(request.target));
+    if (target->spec().domain != artifacts.domain) {
       return Status::InvalidArgument(
           "target '" + request.target + "' is a " +
           std::string(ToString(target->spec().domain)) +
           " dataset but the service holds " +
-          std::string(ToString(artifacts_.domain)) + " artifacts");
+          std::string(ToString(artifacts.domain)) + " artifacts");
     }
     TwoPhaseOptions options;
     options.recall.top_k_models = request.top_k;
@@ -177,6 +216,9 @@ SelectionResponse SelectionService::Run(const SelectionRequest& request,
     options.recall.score_cache = cache_.get();
     options.recall.flight_group = flight_.get();
     options.recall.kernel_mode = options_.kernel_mode;
+    // Cache/flight entries are tagged with the snapshot's version, so two
+    // versions never exchange scores — even for requests racing a swap.
+    options.recall.artifact_epoch = snapshot.version;
     options.fine_selection.threshold = request.threshold;
     options.metrics = metrics_;
     options.cancel = token;
@@ -184,11 +226,11 @@ SelectionResponse SelectionService::Run(const SelectionRequest& request,
 
     TPS_ASSIGN_OR_RETURN(
         TwoPhaseReport report,
-        selector_.Select(*target, options,
-                         Hyperparams::DefaultsFor(target->spec().domain),
-                         pool_.get()));
+        snapshot.selector.Select(
+            *target, options,
+            Hyperparams::DefaultsFor(target->spec().domain), pool_.get()));
     response.selected_model =
-        artifacts_.zoo.model(report.selection.selected_model).name();
+        artifacts.zoo.model(report.selection.selected_model).name();
     response.selected_accuracy = report.selection.selected_accuracy;
     response.training_epochs = report.budget.training_epochs();
     response.inference_epochs = report.budget.inference_epochs();
@@ -207,6 +249,7 @@ SelectionResponse SelectionService::Run(const SelectionRequest& request,
     response = SelectionResponse();
     response.target = target_name;
     response.status = status;
+    response.artifact_version = snapshot.version;
   }
 
   response.wall_ms = timer.ElapsedMillis();
@@ -232,6 +275,8 @@ SelectionResponse SelectionService::Run(const SelectionRequest& request,
 ServiceStats SelectionService::Stats() const {
   ServiceStats stats;
   stats.queue_depth = queue_depth();
+  stats.artifact_version = slot_.version();
+  stats.reloads = reloads_.load(std::memory_order_relaxed);
   stats.admitted = admitted_.load(std::memory_order_relaxed);
   stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.completed = completed_.load(std::memory_order_relaxed);

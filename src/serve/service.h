@@ -16,6 +16,7 @@
 #include "core/cancellation.h"
 #include "core/selection_trace.h"
 #include "core/two_phase.h"
+#include "serve/artifact_slot.h"
 #include "serve/artifacts.h"
 #include "sim/finetune_simulator.h"
 #include "transfer/kernels.h"
@@ -97,6 +98,11 @@ struct SelectionResponse {
   uint64_t cache_misses = 0;
   bool has_trace = false;
   SelectionTrace trace;
+  /// Artifact version this request was served against (1 = the artifacts
+  /// the service started with; each Reload bumps it). Set on failures too,
+  /// so swap-under-load harnesses can attribute every answer to exactly
+  /// one version.
+  uint64_t artifact_version = 0;
   /// Full pipeline report (recall ranking, outcome, budget) for embedded
   /// callers that need more than the summary fields (e.g. markdown report
   /// rendering). Never serialized onto the wire.
@@ -106,6 +112,10 @@ struct SelectionResponse {
 /// Point-in-time service counters (the `stats` wire command and tests).
 struct ServiceStats {
   size_t queue_depth = 0;
+  /// Currently published artifact version (1 until the first Reload).
+  uint64_t artifact_version = 0;
+  /// Successful Reload calls over the service lifetime.
+  uint64_t reloads = 0;
   uint64_t admitted = 0;
   uint64_t rejected = 0;
   uint64_t completed = 0;
@@ -117,10 +127,10 @@ struct ServiceStats {
   size_t cache_entries = 0;
 };
 
-/// The embeddable serving layer: owns the loaded artifacts, the shared
-/// pipeline ThreadPool, the proxy-score cache, and a bounded request queue
-/// with admission control, and answers many concurrent selection requests
-/// without reloading anything.
+/// The embeddable serving layer: owns the published artifact versions, the
+/// shared pipeline ThreadPool, the proxy-score cache, and a bounded request
+/// queue with admission control, and answers many concurrent selection
+/// requests without reloading anything per call.
 ///
 /// Two entry points:
 ///  - Handle(): synchronous, runs the pipeline on the calling thread.
@@ -131,13 +141,21 @@ struct ServiceStats {
 ///    Unavailable response. Deadlines start at admission, so time spent
 ///    queued counts against them. Used by the socket front end.
 ///
+/// Hot artifact swap ("Serving: hot artifact swap" in DESIGN.md): Reload()
+/// publishes new ServiceArtifacts with zero downtime. Every request
+/// acquires an ArtifactSnapshot at admission and runs entirely against it;
+/// Reload validates the new artifacts, publishes them RCU-style, and the
+/// old version is destroyed when its last in-flight request finishes. The
+/// proxy-score cache and flight group are epoch-tagged by artifact
+/// version, so no response ever mixes scores from two versions.
+///
 /// Shutdown: the destructor stops the workers; requests still queued are
 /// answered with Unavailable("service shutting down") rather than dropped.
 ///
 /// Metrics (prefix `serve.`): requests/admitted/rejected/completed/
-/// deadline_exceeded/errors counters, queue_depth gauge (current + peak),
-/// request_latency_us + queue_wait_us histograms; plus the cache's own
-/// proxy_cache.* instruments.
+/// deadline_exceeded/errors/reloads counters, queue_depth gauge (current +
+/// peak), artifact_version gauge, request_latency_us + queue_wait_us
+/// histograms; plus the cache's own proxy_cache.* instruments.
 class SelectionService {
  public:
   static StatusOr<std::unique_ptr<SelectionService>> Create(
@@ -157,9 +175,28 @@ class SelectionService {
   /// otherwise).
   std::future<SelectionResponse> Submit(SelectionRequest request);
 
+  /// Zero-downtime artifact hot swap: validates `artifacts`, publishes
+  /// them as the next version, and returns. In-flight requests keep the
+  /// version they were admitted against; requests admitted after Reload
+  /// returns see the new one. Never blocks the serving path beyond the
+  /// slot's pointer swap. On validation failure nothing is published and
+  /// the current version keeps serving.
+  Status Reload(ServiceArtifacts artifacts);
+
+  /// As above, loading the artifacts from a store or plain files first —
+  /// the whole load runs off the serving path (on the caller's thread).
+  Status Reload(const ArtifactPaths& source);
+
   ServiceStats Stats() const;
 
-  const ServiceArtifacts& artifacts() const { return artifacts_; }
+  /// The currently published artifact snapshot (version, zoo, registry,
+  /// ...). The returned shared_ptr pins that version alive; drop it
+  /// promptly so retired versions can be freed after a Reload.
+  std::shared_ptr<const ArtifactSnapshot> snapshot() const {
+    return slot_.Acquire();
+  }
+  /// Version of the currently published artifacts (starts at 1).
+  uint64_t artifact_version() const { return slot_.version(); }
   ProxyScoreCache* cache() { return cache_.get(); }
   ProxyFlightGroup* flight_group() { return flight_.get(); }
   size_t queue_depth() const;
@@ -168,6 +205,10 @@ class SelectionService {
   struct QueuedRequest {
     SelectionRequest request;
     std::promise<SelectionResponse> promise;
+    /// Artifact version acquired at admission: the whole request runs
+    /// against this snapshot no matter how many Reloads land while it
+    /// waits in the queue.
+    std::shared_ptr<const ArtifactSnapshot> snapshot;
     /// Deadline armed at admission (null when the request has none).
     std::shared_ptr<CancelToken> token;
     std::chrono::steady_clock::time_point enqueued_at;
@@ -176,20 +217,24 @@ class SelectionService {
   SelectionService(ServiceArtifacts artifacts, const ServiceOptions& options);
 
   /// Core pipeline: resolve target, build TwoPhaseOptions (cache, cancel,
-  /// trace), run the selector, fill the response. `token` may be null.
+  /// trace), run the selector, fill the response. `token` may be null;
+  /// `snapshot` is the version acquired at admission.
   SelectionResponse Run(const SelectionRequest& request,
-                        const CancelToken* token);
+                        const CancelToken* token,
+                        const ArtifactSnapshot& snapshot);
 
   void WorkerLoop();
 
-  const ServiceArtifacts artifacts_;
   const ServiceOptions options_;
   MetricsRegistry* const metrics_;
-  FineTuneSimulator simulator_;
-  TwoPhaseSelector selector_;
+  ArtifactSlot slot_;
   std::unique_ptr<ThreadPool> pool_;      // Null when pipeline_threads == 1.
   std::unique_ptr<ProxyScoreCache> cache_;  // Null when capacity == 0.
   std::unique_ptr<ProxyFlightGroup> flight_;  // Null when coalescing is off.
+
+  /// Serializes Reload callers (version allocation + publish); never held
+  /// while serving.
+  std::mutex reload_mu_;
 
   mutable std::mutex mu_;
   std::condition_variable queue_ready_;
@@ -204,6 +249,7 @@ class SelectionService {
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> reloads_{0};
 };
 
 }  // namespace serve

@@ -57,6 +57,7 @@ uint64_t DatasetFingerprint(const Dataset& dataset) {
 
 size_t ProxyCacheKeyHash::operator()(const ProxyCacheKey& key) const {
   uint64_t h = FnvMixU64(kFnvOffset, key.dataset_fingerprint);
+  h = FnvMixU64(h, key.artifact_epoch);
   h = FnvMixString(h, key.model);
   h = FnvMixString(h, key.scorer);
   return static_cast<size_t>(h);
@@ -115,11 +116,13 @@ void ProxyScoreCache::Insert(const ProxyCacheKey& key, double score) {
 
 StatusOr<double> ProxyScoreCache::GetOrCompute(const ProxyScorer& scorer,
                                                const PretrainedModel& model,
-                                               const Dataset& target) {
+                                               const Dataset& target,
+                                               uint64_t artifact_epoch) {
   ProxyCacheKey key;
   key.dataset_fingerprint = DatasetFingerprint(target);
   key.model = model.name();
   key.scorer = scorer.name();
+  key.artifact_epoch = artifact_epoch;
   if (std::optional<double> cached = Lookup(key); cached.has_value()) {
     return *cached;
   }

@@ -27,15 +27,25 @@ namespace tps {
 /// canonical serialization; no pointers, no ASLR).
 uint64_t DatasetFingerprint(const Dataset& dataset);
 
-/// Cache key: which proxy number is this? One entry per (target dataset,
-/// model, scorer kind) triple.
+/// Cache key: which proxy number is this? One entry per (artifact epoch,
+/// target dataset, model, scorer kind) tuple. `artifact_epoch` is the
+/// serving layer's artifact version ("Serving: hot artifact swap" in
+/// DESIGN.md): proxy scores depend on the loaded model zoo, so scores
+/// computed under version V must never answer a request admitted against
+/// version V+1. Epoch-tagging the key (instead of flushing the cache on
+/// swap) keeps in-flight old-version requests correct too — they keep
+/// hitting their own epoch's entries while new requests warm the next
+/// epoch, and retired epochs age out through normal LRU eviction.
+/// Embedded callers that never swap artifacts leave it 0.
 struct ProxyCacheKey {
   uint64_t dataset_fingerprint = 0;
   std::string model;   // PretrainedModel name (unique within a zoo).
   std::string scorer;  // ProxyScorer::name(): "leep", "nce", ...
+  uint64_t artifact_epoch = 0;
 
   bool operator==(const ProxyCacheKey& other) const {
     return dataset_fingerprint == other.dataset_fingerprint &&
+           artifact_epoch == other.artifact_epoch &&
            model == other.model && scorer == other.scorer;
   }
 };
@@ -81,9 +91,11 @@ class ProxyScoreCache {
 
   /// The seam used by coarse recall: cache hit, or compute via
   /// `scorer.Score(model, target)` and cache the successful result.
+  /// `artifact_epoch` tags the key (see ProxyCacheKey).
   StatusOr<double> GetOrCompute(const ProxyScorer& scorer,
                                 const PretrainedModel& model,
-                                const Dataset& target);
+                                const Dataset& target,
+                                uint64_t artifact_epoch = 0);
 
   /// Drops every entry (counters are retained).
   void Clear();

@@ -39,7 +39,16 @@ class Socket {
   /// is not needed: a clean EOF before any byte of a new line returns
   /// kOutOfRange("connection closed"); EOF mid-line returns the partial
   /// line as-is.
-  StatusOr<std::string> RecvLine(std::string* buffer);
+  ///
+  /// `max_line_bytes` bounds how much one line may buffer (0 = unlimited).
+  /// An oversized line is DISCARDED — the call keeps draining bytes up to
+  /// and including the line's '\n' terminator without retaining them, then
+  /// returns InvalidArgument. The stream stays framed: the next RecvLine
+  /// starts at the following line, so a server can answer the error and
+  /// keep the session instead of tearing it down (and a peer streaming
+  /// gigabytes of unterminated garbage holds O(max) memory, not O(input)).
+  StatusOr<std::string> RecvLine(std::string* buffer,
+                                 size_t max_line_bytes = 0);
 
   /// Half-closes both directions (unblocks a peer or a blocked reader on
   /// this socket) without releasing the fd.

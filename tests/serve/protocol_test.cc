@@ -52,6 +52,38 @@ TEST(ParseRequestLineTest, Commands) {
   EXPECT_FALSE(ParseRequestLine(R"({"cmd": "reboot"})").ok());
 }
 
+TEST(ParseRequestLineTest, ReloadFromStoreOrFiles) {
+  auto from_store = ParseRequestLine(
+      R"({"cmd": "reload", "store": "store.log", "id": "nlp"})");
+  ASSERT_TRUE(from_store.ok()) << from_store.status().ToString();
+  EXPECT_EQ(from_store->command, WireCommand::kReload);
+  EXPECT_EQ(from_store->reload.store, "store.log");
+  EXPECT_EQ(from_store->reload.id, "nlp");
+  EXPECT_TRUE(from_store->reload.matrix.empty());
+
+  auto from_files = ParseRequestLine(
+      R"({"cmd": "reload", "matrix": "m.txt", "clustering": "c.txt"})");
+  ASSERT_TRUE(from_files.ok()) << from_files.status().ToString();
+  EXPECT_EQ(from_files->command, WireCommand::kReload);
+  EXPECT_EQ(from_files->reload.matrix, "m.txt");
+  EXPECT_EQ(from_files->reload.clustering, "c.txt");
+
+  // No source at all is rejected up front, before touching the service.
+  auto sourceless = ParseRequestLine(R"({"cmd": "reload"})");
+  EXPECT_FALSE(sourceless.ok());
+  EXPECT_TRUE(sourceless.status().IsInvalidArgument());
+  // Wrong field type too.
+  EXPECT_FALSE(ParseRequestLine(R"({"cmd": "reload", "store": 7})").ok());
+}
+
+TEST(ControlLinesTest, ReloadAck) {
+  auto ack = json::Parse(ReloadAckLine(4));
+  ASSERT_TRUE(ack.ok());
+  EXPECT_TRUE(*ack->GetBool("ok"));
+  EXPECT_TRUE(*ack->GetBool("reloaded"));
+  EXPECT_EQ(*ack->GetNumber("artifact_version"), 4.0);
+}
+
 TEST(ParseRequestLineTest, MalformedInputRejected) {
   // Each of these must fail with InvalidArgument, never crash or accept.
   const char* bad[] = {
@@ -123,6 +155,7 @@ TEST(ResponseRoundTripTest, SuccessSurvivesSerializeParse) {
   response.wall_ms = 1.25;
   response.cache_hits = 7;
   response.cache_misses = 3;
+  response.artifact_version = 3;
 
   const std::string line = ResponseToLine(response);
   // One line per reply: the framing newline is added by the transport.
@@ -141,6 +174,7 @@ TEST(ResponseRoundTripTest, SuccessSurvivesSerializeParse) {
   EXPECT_EQ(parsed->wall_ms, response.wall_ms);
   EXPECT_EQ(parsed->cache_hits, response.cache_hits);
   EXPECT_EQ(parsed->cache_misses, response.cache_misses);
+  EXPECT_EQ(parsed->artifact_version, response.artifact_version);
   EXPECT_FALSE(parsed->has_trace);
 }
 
@@ -208,6 +242,8 @@ TEST(ControlLinesTest, PingStatsShutdown) {
 
   ServiceStats stats;
   stats.queue_depth = 3;
+  stats.artifact_version = 2;
+  stats.reloads = 1;
   stats.admitted = 10;
   stats.rejected = 2;
   stats.completed = 7;
@@ -222,6 +258,8 @@ TEST(ControlLinesTest, PingStatsShutdown) {
   const json::Value* object = parsed->Find("stats");
   ASSERT_NE(object, nullptr);
   EXPECT_EQ(*object->GetNumber("queue_depth"), 3.0);
+  EXPECT_EQ(*object->GetNumber("artifact_version"), 2.0);
+  EXPECT_EQ(*object->GetNumber("reloads"), 1.0);
   EXPECT_EQ(*object->GetNumber("admitted"), 10.0);
   EXPECT_EQ(*object->GetNumber("rejected"), 2.0);
   EXPECT_EQ(*object->GetNumber("completed"), 7.0);

@@ -6,6 +6,8 @@
 
 #include <unistd.h>
 
+#include <chrono>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
@@ -205,6 +207,177 @@ TEST_F(SelectionServerTest, TcpEndpointServes) {
   EXPECT_TRUE(reply->status.ok()) << reply->status.ToString();
   EXPECT_FALSE(reply->selected_model.empty());
   server->Shutdown();
+}
+
+// Regression (connection-thread leak): the server used to keep every
+// connection's thread and socket until Shutdown, growing without bound on
+// a long-lived server. Finished handlers must be reaped as accept loops
+// turn over, so bookkeeping stays O(live connections).
+TEST_F(SelectionServerTest, ConnectionBookkeepingStaysBounded) {
+  const std::string path = SocketPath("reap");
+  auto server = StartUnix(path);
+  ASSERT_NE(server, nullptr);
+
+  constexpr int kSessions = 20;
+  for (int i = 0; i < kSessions; ++i) {
+    auto client = ConnectUnix(path);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    std::string buffer;
+    EXPECT_EQ(Exchange(*client, &buffer, R"({"cmd": "ping"})"), PongLine());
+    // Destructor closes the socket; the handler notices EOF and finishes.
+  }
+
+  // Each new accept reaps whatever finished before it; probe until the
+  // stragglers' handlers have observed EOF and been joined. Only the live
+  // probe connection (and at most one not-yet-reaped session) may remain.
+  bool bounded = false;
+  for (int attempt = 0; attempt < 100 && !bounded; ++attempt) {
+    auto probe = ConnectUnix(path);
+    ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+    std::string buffer;
+    EXPECT_EQ(Exchange(*probe, &buffer, R"({"cmd": "ping"})"), PongLine());
+    bounded = server->tracked_connections() <= 2;
+    if (!bounded) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(bounded) << "still tracking " << server->tracked_connections()
+                       << " connections after " << kSessions
+                       << " closed sessions";
+  server->Shutdown();
+}
+
+// Regression (unbounded recv buffer): an unterminated or huge line used to
+// be buffered in full. Now it is discarded at the cap, answered with an
+// error reply, and the SESSION SURVIVES — framing recovers at the next
+// newline.
+TEST_F(SelectionServerTest, OversizedLineGetsErrorReplyAndSessionSurvives) {
+  const std::string path = SocketPath("oversized");
+  ServerOptions options;
+  options.unix_path = path;
+  options.max_line_bytes = 4096;
+  auto server_or = SelectionServer::Start(service_.get(), options);
+  ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
+  auto& server = *server_or;
+
+  auto client = ConnectUnix(path);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  std::string buffer;
+
+  // 64 KiB of garbage on one line: error reply, not a dropped connection.
+  const std::string big(64 * 1024, 'x');
+  auto reply = ParseResponseLine(Exchange(*client, &buffer, big));
+  EXPECT_TRUE(reply.status().IsInvalidArgument())
+      << reply.status().ToString();
+
+  // The stream re-framed on the newline: the next command still works.
+  EXPECT_EQ(Exchange(*client, &buffer, R"({"cmd": "ping"})"), PongLine());
+
+  // An oversized line followed by a valid one in the same burst: the
+  // valid command is answered after the error (framing is exact, not
+  // heuristic).
+  ASSERT_TRUE(client->SendAll(big + "\n" + R"({"cmd": "ping"})" + "\n").ok());
+  auto error_line = client->RecvLine(&buffer);
+  ASSERT_TRUE(error_line.ok()) << error_line.status().ToString();
+  EXPECT_TRUE(ParseResponseLine(*error_line).status().IsInvalidArgument());
+  auto pong_line = client->RecvLine(&buffer);
+  ASSERT_TRUE(pong_line.ok()) << pong_line.status().ToString();
+  EXPECT_EQ(*pong_line, PongLine());
+  server->Shutdown();
+}
+
+// Regression (lost shutdown): a client that sends `shutdown` and
+// disconnects without reading the ack used to leave the server running
+// forever — the failed ack send returned before RequestShutdown(). The
+// shutdown must take effect once the command parsed, ack delivered or not.
+TEST_F(SelectionServerTest, ShutdownHonoredWhenAckSendFails) {
+  const std::string path = SocketPath("lost_ack");
+  ServerOptions options;
+  options.unix_path = path;
+  // Hold every reply until the test releases it — so the client can close
+  // its end BEFORE the ack send, making the send failure deterministic.
+  std::promise<void> client_closed;
+  std::shared_future<void> closed_future(client_closed.get_future());
+  options.pre_reply_hook = [closed_future] { closed_future.wait(); };
+  auto server_or = SelectionServer::Start(service_.get(), options);
+  ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
+  auto& server = *server_or;
+
+  {
+    auto client = ConnectUnix(path);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    ASSERT_TRUE(client->SendAll("{\"cmd\": \"shutdown\"}\n").ok());
+    // Close without reading the ack.
+  }
+  client_closed.set_value();
+
+  // The server must still stop. (A regression hangs here and trips the
+  // test timeout.)
+  server->Wait();
+  server->Shutdown();
+}
+
+TEST_F(SelectionServerTest, ReloadOverTheWire) {
+  // Persist the suite artifacts as the plain-file pair a reload names.
+  const std::string dir = testing::TempDir();
+  const std::string matrix_path =
+      dir + "/tps_server_test_reload_matrix_" + std::to_string(::getpid());
+  const std::string clustering_path =
+      dir + "/tps_server_test_reload_clustering_" +
+      std::to_string(::getpid());
+  ASSERT_TRUE(artifacts_->matrix.SaveToFile(matrix_path).ok());
+  ASSERT_TRUE(SaveClustering(artifacts_->clustering, clustering_path).ok());
+
+  const std::string path = SocketPath("reload");
+  auto server = StartUnix(path);
+  ASSERT_NE(server, nullptr);
+  auto client = ConnectUnix(path);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  std::string buffer;
+
+  // Selects before the swap are tagged with version 1.
+  auto before = ParseResponseLine(
+      Exchange(*client, &buffer, R"({"target": "mnli"})"));
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(before->status.ok()) << before->status.ToString();
+  EXPECT_EQ(before->artifact_version, 1u);
+
+  // A reload naming a missing file fails and changes nothing.
+  auto bad = json::Parse(Exchange(
+      *client, &buffer,
+      R"({"cmd": "reload", "matrix": "/no/such/file", "clustering": ")" +
+          clustering_path + "\"}"));
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(*bad->GetBool("ok"), false);
+  EXPECT_EQ(service_->artifact_version(), 1u);
+
+  // A real reload bumps the version; the session survives the swap.
+  auto ack = json::Parse(Exchange(
+      *client, &buffer, R"({"cmd": "reload", "matrix": ")" + matrix_path +
+                            R"(", "clustering": ")" + clustering_path +
+                            "\"}"));
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(*ack->GetBool("ok"), true);
+  EXPECT_EQ(*ack->GetNumber("artifact_version"), 2.0);
+
+  auto after = ParseResponseLine(
+      Exchange(*client, &buffer, R"({"target": "mnli"})"));
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after->status.ok()) << after->status.ToString();
+  EXPECT_EQ(after->artifact_version, 2u);
+  EXPECT_EQ(after->selected_model, before->selected_model);
+
+  // Stats surface the swap.
+  auto stats = json::Parse(Exchange(*client, &buffer, R"({"cmd": "stats"})"));
+  ASSERT_TRUE(stats.ok());
+  const json::Value* inner = stats->Find("stats");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(*inner->GetNumber("artifact_version"), 2.0);
+  EXPECT_EQ(*inner->GetNumber("reloads"), 1.0);
+
+  server->Shutdown();
+  ::unlink(matrix_path.c_str());
+  ::unlink(clustering_path.c_str());
 }
 
 TEST_F(SelectionServerTest, ShutdownWithLiveConnectionUnblocksIt) {

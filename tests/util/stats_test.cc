@@ -60,6 +60,40 @@ TEST(StatsTest, PercentileClampsOutOfRangeP) {
   EXPECT_DOUBLE_EQ(Percentile(v, 150), 2.0);
 }
 
+// Pins the boundary behavior the serving benches rely on (they report
+// p50/p99 through this function — a truncating nearest-rank copy once
+// lived in bench_serve_throughput and disagreed with these values).
+TEST(StatsTest, PercentileSingletonIsThatValueAtEveryP) {
+  const std::vector<double> v = {42.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 42.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 42.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 99), 42.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 42.0);
+}
+
+TEST(StatsTest, PercentileSortsItsInput) {
+  // Callers pass unsorted samples; Percentile must not require pre-sorting.
+  const std::vector<double> v = {50.0, 10.0, 40.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 50.0);
+}
+
+TEST(StatsTest, PercentileP99InterpolatesNearTheTail) {
+  // 101 evenly spaced samples 0..100: p99 falls exactly on sample 99; with
+  // 11 samples 0..10, p99 interpolates between the last two.
+  std::vector<double> v;
+  for (int i = 0; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(Percentile(v, 99), 99.0);
+  std::vector<double> small;
+  for (int i = 0; i <= 10; ++i) small.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(Percentile(small, 99), 9.9);
+}
+
+TEST(StatsTest, PercentileEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
 TEST(StatsTest, PearsonPerfectCorrelation) {
   const std::vector<double> x = {1, 2, 3, 4, 5};
   const std::vector<double> y = {2, 4, 6, 8, 10};

@@ -51,10 +51,20 @@
 //       the standalone `tps_serve` binary.
 //
 //   tps_cli query    --socket=/tmp/tps.sock | --port=N --target=mnli
-//                    [--cmd=select|ping|stats|shutdown] [--k] [--threshold]
-//                    [--proxy|--proxies] [--deadline=MS] [--trace]
+//                    [--cmd=select|ping|stats|reload|shutdown] [--k]
+//                    [--threshold] [--proxy|--proxies] [--deadline=MS]
+//                    [--trace]
 //       Send one request to a running server and print the raw NDJSON
 //       reply. Exit 0 iff the reply says "ok": true.
+//
+//   tps_cli reload   --socket=/tmp/tps.sock | --port=N
+//                    --store=store.log [--id=nlp] |
+//                    --matrix=PATH --clustering=PATH
+//       Hot-swap a running server onto new artifacts with zero downtime:
+//       the server loads + validates the named artifacts off the serving
+//       path and publishes them as the next artifact version. In-flight
+//       requests finish on the version that admitted them. Shorthand for
+//       `tps_cli query --cmd=reload`.
 //
 // All subcommands are deterministic; no flags are required beyond the ones
 // shown (defaults in brackets). `offline`, `recall` and `select` accept
@@ -98,8 +108,8 @@ int Fail(const Status& status) {
 int Usage() {
   std::cerr
       << "usage: tps_cli <offline|recall|select|trace|baselines|datasets|"
-         "models|card|store-info|store-compact|serve|query> [--flags] "
-         "[--metrics[=PATH]]\n"
+         "models|card|store-info|store-compact|serve|query|reload> "
+         "[--flags] [--metrics[=PATH]]\n"
          "run `head tools/tps_cli.cc` for the full flag reference\n";
   return 2;
 }
@@ -439,14 +449,15 @@ int RunSelect(const FlagParser& flags) {
   }
 
   if (!report_path.empty()) {
+    const auto snapshot = service.snapshot();
     auto target_or =
-        service.artifacts().registry.Find(flags.GetString("target"));
+        snapshot->artifacts.registry.Find(flags.GetString("target"));
     if (!target_or.ok()) return Fail(target_or.status());
     std::ofstream out(report_path);
     if (!out) {
       return Fail(Status::IOError("cannot write report: " + report_path));
     }
-    out << RenderSelectionReport(response.report, service.artifacts().zoo,
+    out << RenderSelectionReport(response.report, snapshot->artifacts.zoo,
                                  **target_or);
     std::cout << "markdown report -> " << report_path << "\n";
   }
@@ -669,6 +680,7 @@ int Dispatch(const std::string& command, const FlagParser& flags) {
   if (command == "store-compact") return RunStoreCompact(flags);
   if (command == "serve") return serve::RunServe(flags);
   if (command == "query") return serve::RunQuery(flags);
+  if (command == "reload") return serve::RunReload(flags);
   return Usage();
 }
 
