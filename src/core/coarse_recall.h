@@ -10,6 +10,7 @@
 #include "core/performance_matrix.h"
 #include "core/selection_trace.h"
 #include "data/dataset.h"
+#include "index/recall_index.h"
 #include "model/zoo.h"
 #include "sim/epoch_budget.h"
 #include "transfer/kernels.h"
@@ -67,6 +68,22 @@ struct RecallOptions {
   /// request running against another, even mid-swap. 0 (the default) is
   /// the never-swapped epoch used by embedded callers.
   uint64_t artifact_epoch = 0;
+  /// Optional sub-linear recall index ("Sub-linear recall index" in
+  /// DESIGN.md). When non-null, recall proxy-scores only the
+  /// representatives of the partitions the index probes and ranks only the
+  /// probed posting lists plus the propagation-only long tail — the whole
+  /// online phase runs off the index structure, never sweeping the zoo or
+  /// the performance matrix. The index must cover exactly the zoo. With a
+  /// BruteForceRecallIndex built over the serving clustering (or any
+  /// backend probed exhaustively) the result is bit-identical to the
+  /// legacy sweep — tests/index/index_equivalence_test.cc pins it. The
+  /// caller owns the index; it must outlive the call.
+  const RecallIndex* index = nullptr;
+  /// Scored partitions to probe per query in index mode: 0 = the
+  /// backend's default, larger values trade latency for recall, and
+  /// nprobe >= the scored-partition count reproduces brute force exactly.
+  /// Ignored when `index` is null.
+  size_t nprobe = 0;
   /// Which kernel family the proxy scorers compute with. kBatched (the
   /// default) is the SoA vectorized hot path; kReference retains the
   /// original scalar loops. Both are bit-identical by contract (the

@@ -140,6 +140,51 @@ StatusOr<ModelClustering> ClusterModels(
   return result;
 }
 
+StatusOr<BruteForceRecallIndex> IndexFromClustering(
+    const PerformanceMatrix& matrix, const ModelClustering& clustering) {
+  if (matrix.num_models() != clustering.clusters.assignments.size()) {
+    return Status::InvalidArgument(
+        "matrix / clustering model count mismatch");
+  }
+  // Vectors, priors, assignments and top-k all come straight from the
+  // clustering artifact, and BruteForceRecallIndex re-derives the
+  // representatives with the same highest-average-accuracy / first-wins
+  // rule as ClusterModels above, so recall through the index reproduces
+  // the legacy sweep bit-for-bit.
+  return BruteForceRecallIndex::Create(
+      matrix.ModelVectors(), matrix.ModelAverageAccuracies(),
+      clustering.clusters.assignments,
+      static_cast<size_t>(clustering.clusters.num_clusters),
+      clustering.options.top_k);
+}
+
+StatusOr<ModelClustering> ClusteringFromIndexStructure(
+    const IndexStructure& structure) {
+  const size_t P = structure.num_partitions();
+  if (structure.num_models() == 0 || P == 0) {
+    return Status::InvalidArgument("empty index structure");
+  }
+  ModelClustering clustering;
+  clustering.clusters.assignments = structure.assignments;
+  clustering.clusters.num_clusters = static_cast<int>(P);
+  clustering.representatives.reserve(P);
+  for (size_t rep : structure.representatives) {
+    if (rep == IndexStructure::kNoSlot) {
+      return Status::FailedPrecondition(
+          "index has an empty partition; cannot derive a clustering");
+    }
+    clustering.representatives.push_back(rep);
+  }
+  // The distance matrix stays empty on purpose: nothing in the recall
+  // path reads it, and materializing O(n^2) distances is exactly what a
+  // large generated zoo cannot afford.
+  clustering.options.similarity = ModelSimilarityKind::kPerformance;
+  clustering.options.algorithm = ClusterAlgorithm::kKMeans;
+  clustering.options.top_k = structure.similarity_top_k;
+  clustering.options.num_clusters = static_cast<int>(P);
+  return clustering;
+}
+
 std::string FormatClusters(const ModelClustering& clustering,
                            const ModelZoo& zoo, bool include_singletons) {
   std::ostringstream os;
@@ -246,14 +291,18 @@ StatusOr<ModelClustering> DeserializeClustering(const std::string& text) {
   }
   size_t n = 0;
   in >> n;
-  if (!in || n != num_models) {
+  // n == 0 means the clustering carries no distance matrix (index-derived
+  // clusterings over large generated zoos skip the O(n^2) artifact).
+  if (!in || (n != num_models && n != 0)) {
     return Status::InvalidArgument("bad distance matrix size");
   }
-  clustering.distances = Matrix(n, n);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < n; ++j) in >> clustering.distances.At(i, j);
+  if (n > 0) {
+    clustering.distances = Matrix(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) in >> clustering.distances.At(i, j);
+    }
+    if (!in) return Status::InvalidArgument("truncated distances");
   }
-  if (!in) return Status::InvalidArgument("truncated distances");
   return clustering;
 }
 

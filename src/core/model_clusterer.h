@@ -7,6 +7,7 @@
 
 #include "clustering/cluster_result.h"
 #include "core/performance_matrix.h"
+#include "index/recall_index.h"
 #include "matrix/matrix.h"
 #include "model/zoo.h"
 #include "util/statusor.h"
@@ -69,6 +70,26 @@ struct ModelClustering {
 StatusOr<ModelClustering> ClusterModels(const PerformanceMatrix& matrix,
                                         const ModelZoo& zoo,
                                         const ModelClusteringOptions& options);
+
+/// Bridges between the clustering artifact and the recall index subsystem
+/// (src/index/), in both directions:
+///
+/// A brute-force oracle index over an existing clustering's partitions.
+/// Vectors, priors, assignments, representatives and the Eq. 1 top-k all
+/// come from the clustering + matrix pair, so recall through the returned
+/// index is bit-identical to the legacy clustering sweep
+/// (tests/index/index_equivalence_test.cc).
+StatusOr<BruteForceRecallIndex> IndexFromClustering(
+    const PerformanceMatrix& matrix, const ModelClustering& clustering);
+
+/// A ModelClustering over a recall index's partitions (assignments +
+/// representatives; no O(n^2) distance matrix — generated zoos are too
+/// large for one). This is how large generated zoos get a serving
+/// clustering: the index partitioning doubles as the cluster structure,
+/// so the legacy recall path over it is exactly the brute-force oracle
+/// the indexed path is measured against. Fails if any partition is empty.
+StatusOr<ModelClustering> ClusteringFromIndexStructure(
+    const IndexStructure& structure);
 
 /// Renders cluster membership as text lines ("C1 (size 5): a, b, ...") for
 /// the Table II / Table XI harnesses. Singleton clusters are summarized at

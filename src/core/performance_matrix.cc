@@ -97,6 +97,24 @@ double PerformanceMatrix::ModelAverageAccuracy(size_t model_index) const {
   return vec.empty() ? 0.0 : sum / static_cast<double>(vec.size());
 }
 
+std::vector<std::vector<double>> PerformanceMatrix::ModelVectors() const {
+  std::vector<std::vector<double>> vectors;
+  vectors.reserve(num_models());
+  for (size_t m = 0; m < num_models(); ++m) {
+    vectors.push_back(ModelVector(m));
+  }
+  return vectors;
+}
+
+std::vector<double> PerformanceMatrix::ModelAverageAccuracies() const {
+  std::vector<double> priors;
+  priors.reserve(num_models());
+  for (size_t m = 0; m < num_models(); ++m) {
+    priors.push_back(ModelAverageAccuracy(m));
+  }
+  return priors;
+}
+
 const TrainingRun& PerformanceMatrix::run(size_t dataset_index,
                                           size_t model_index) const {
   TPS_CHECK(dataset_index < num_datasets());

@@ -71,6 +71,13 @@ class PerformanceMatrix {
   /// the recall score, Eq. 2).
   double ModelAverageAccuracy(size_t model_index) const;
 
+  /// Every model's performance vector, model-major — the recall index's
+  /// primary input (src/index/).
+  std::vector<std::vector<double>> ModelVectors() const;
+
+  /// acc(m_j) for every model, in zoo order.
+  std::vector<double> ModelAverageAccuracies() const;
+
   /// The full training run for (dataset, model).
   const TrainingRun& run(size_t dataset_index, size_t model_index) const;
 

@@ -296,21 +296,20 @@ std::vector<ModelSpec> CvPaperZooSpecs() {
   return specs;
 }
 
-std::vector<ModelSpec> SyntheticZooSpecs(TaskDomain domain, size_t count,
-                                         uint64_t seed) {
-  Rng rng(latent::CombineSeeds(seed, latent::HashString("synthetic-zoo")));
+ZooTagVocabulary SyntheticTagVocabulary(TaskDomain domain) {
   const bool nlp = domain == TaskDomain::kNLP;
-  const std::vector<std::string> families =
+  ZooTagVocabulary vocab;
+  vocab.families =
       nlp ? std::vector<std::string>{"bert", "roberta", "albert",
                                      "distilbert", "mbert", "electra"}
           : std::vector<std::string>{"vit", "beit", "deit", "convnext",
                                      "swin", "poolformer"};
-  const std::vector<std::vector<std::string>> corpora =
+  vocab.corpora =
       nlp ? std::vector<std::vector<std::string>>{kBertCorpus, kRobertaCorpus,
                                                   kMultilingualCorpus,
                                                   kArabicCorpus}
           : std::vector<std::vector<std::string>>{kImagenet1k, kImagenet21k};
-  const std::vector<std::vector<std::string>> finetunes =
+  vocab.finetunes =
       nlp ? std::vector<std::vector<std::string>>{
                 {}, kQqpTags, kColaTags, kQnliTags, kMnliTags, kSst2Tags,
                 {"english", "sentiment", "reviews"},
@@ -320,6 +319,17 @@ std::vector<ModelSpec> SyntheticZooSpecs(TaskDomain domain, size_t count,
                 {}, {"faces", "emotion"}, {"art", "paintings"},
                 {"natural-images", "food"}, {"digits", "grayscale"},
                 {"medical", "biomedical"}};
+  return vocab;
+}
+
+std::vector<ModelSpec> SyntheticZooSpecs(TaskDomain domain, size_t count,
+                                         uint64_t seed) {
+  Rng rng(latent::CombineSeeds(seed, latent::HashString("synthetic-zoo")));
+  const bool nlp = domain == TaskDomain::kNLP;
+  const ZooTagVocabulary vocab = SyntheticTagVocabulary(domain);
+  const std::vector<std::string>& families = vocab.families;
+  const std::vector<std::vector<std::string>>& corpora = vocab.corpora;
+  const std::vector<std::vector<std::string>>& finetunes = vocab.finetunes;
 
   std::vector<ModelSpec> specs;
   specs.reserve(count);

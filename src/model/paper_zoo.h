@@ -2,11 +2,22 @@
 #define TPS_MODEL_PAPER_ZOO_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "model/model_spec.h"
 
 namespace tps {
+
+/// The tag vocabulary synthetic/generated zoos draw from: architecture
+/// families, pre-training corpora and fine-tune tag sets for one domain.
+/// The entries mirror the paper zoos and the dataset registry, so
+/// lineage -> dataset transfer signal lines up for generated models too.
+struct ZooTagVocabulary {
+  std::vector<std::string> families;
+  std::vector<std::vector<std::string>> corpora;
+  std::vector<std::vector<std::string>> finetunes;
+};
 
 /// The paper's model repository (Appendix B, Table VIII): 40 NLP models and
 /// 30 CV models from HuggingFace, reconstructed as simulator specs.
@@ -20,6 +31,10 @@ namespace tps {
 /// being hard-coded.
 std::vector<ModelSpec> NlpPaperZooSpecs();
 std::vector<ModelSpec> CvPaperZooSpecs();
+
+/// The domain's tag vocabulary (shared by SyntheticZooSpecs and the
+/// parameterized generator in model/zoo_gen.h).
+ZooTagVocabulary SyntheticTagVocabulary(TaskDomain domain);
 
 /// Generates a synthetic zoo of `count` models for scaling experiments:
 /// random family/capability/fine-tune-dataset combinations over the given

@@ -1,0 +1,49 @@
+#ifndef TPS_MODEL_ZOO_GEN_H_
+#define TPS_MODEL_ZOO_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/model_spec.h"
+#include "util/statusor.h"
+
+namespace tps {
+
+/// Parameters of a generated large model zoo (the scaling counterpart of
+/// the 40/30-model paper zoos): `num_models` specs drawn from the domain's
+/// tag vocabulary, organized into lineages — groups sharing a family,
+/// pre-training corpus, fine-tune dataset and base capability, the way
+/// real repositories hold many fine-tunes of the same base checkpoint.
+/// Lineage structure is what gives the generated zoo a meaningful cluster
+/// geometry for the recall index to exploit.
+///
+/// Generation is a pure function of this spec: the same spec yields
+/// bit-identical specs on every run, machine and thread count
+/// (tests/model/zoo_gen_test.cc pins it).
+struct ZooGenSpec {
+  TaskDomain domain = TaskDomain::kNLP;
+  /// Zoo size; the generator is intended for 1e3 - 1e5 models.
+  size_t num_models = 1000;
+  uint64_t seed = 17;
+  /// Lineage count; 0 = one lineage per ~12 models (the paper zoos'
+  /// ratio).
+  size_t num_lineages = 0;
+  /// Fraction of models drawn as one-off singletons (fresh random
+  /// identity, no lineage) — the repository long tail that exercises the
+  /// Eq. 4 propagation path.
+  double singleton_fraction = 0.05;
+  /// Stddev of the per-member capability jitter around the lineage base.
+  double capability_jitter = 0.02;
+  /// Name prefix: models are named "<prefix>/<domain>-<family>-<i>".
+  std::string name_prefix = "gen";
+};
+
+/// Generates the zoo. Fails on an invalid spec (zero models, negative
+/// jitter, fraction outside [0, 1], empty prefix, more lineages than
+/// models).
+StatusOr<std::vector<ModelSpec>> GenerateZooSpecs(const ZooGenSpec& spec);
+
+}  // namespace tps
+
+#endif  // TPS_MODEL_ZOO_GEN_H_

@@ -56,9 +56,46 @@ StatusOr<ServiceArtifacts> ServiceArtifacts::Load(
   };
   TPS_ASSIGN_OR_RETURN(PerformanceMatrix matrix, load_matrix());
   TPS_ASSIGN_OR_RETURN(ModelClustering clustering, load_clustering());
-  ServiceArtifacts artifacts{std::move(registry), std::move(zoo),
-                             std::move(matrix), std::move(clustering),
-                             paths.domain};
+
+  // Artifacts built over a generated zoo (tps_cli zoo-gen) do not match
+  // the paper zoo. When the store carries the generating specs, rebuild
+  // the zoo from them, in matrix column order, so serving covers exactly
+  // the models the artifacts were computed over.
+  if (matrix.num_models() != zoo.size() && !paths.store.empty()) {
+    TPS_ASSIGN_OR_RETURN(ModelStore store, ModelStore::Open(paths.store));
+    std::vector<ModelSpec> specs;
+    specs.reserve(matrix.num_models());
+    for (const std::string& name : matrix.model_names()) {
+      auto spec = store.GetModelSpec(name);
+      if (!spec.ok()) {
+        return Status(spec.status().code(),
+                      "matrix model '" + name +
+                          "' is not registered in the store: " +
+                          spec.status().message());
+      }
+      specs.push_back(std::move(spec).value());
+    }
+    TPS_ASSIGN_OR_RETURN(zoo, ModelZoo::Create(specs));
+  }
+
+  std::shared_ptr<const IvfIndex> index;
+  if (!paths.store.empty()) {
+    TPS_ASSIGN_OR_RETURN(ModelStore store, ModelStore::Open(paths.store));
+    auto loaded = store.GetRecallIndex(EffectiveId(paths));
+    if (loaded.ok()) {
+      index = std::make_shared<const IvfIndex>(std::move(loaded).value());
+    } else if (!loaded.status().IsNotFound()) {
+      return loaded.status();
+    }
+  } else if (!paths.index.empty()) {
+    TPS_ASSIGN_OR_RETURN(IvfIndex loaded,
+                         IvfIndex::LoadFromFile(paths.index));
+    index = std::make_shared<const IvfIndex>(std::move(loaded));
+  }
+
+  ServiceArtifacts artifacts{std::move(registry),   std::move(zoo),
+                             std::move(matrix),     std::move(clustering),
+                             paths.domain,          std::move(index)};
   TPS_RETURN_NOT_OK(artifacts.Validate());
   return artifacts;
 }
@@ -84,6 +121,11 @@ Status ServiceArtifacts::Validate() const {
           " is outside the zoo");
     }
   }
+  if (index != nullptr && index->num_models() != zoo.size()) {
+    return Status::FailedPrecondition(
+        "recall index covers " + std::to_string(index->num_models()) +
+        " models but the zoo has " + std::to_string(zoo.size()));
+  }
   return Status::OK();
 }
 
@@ -104,8 +146,9 @@ StatusOr<ServiceArtifacts> ServiceArtifacts::Build(TaskDomain domain,
                                        threads));
   TPS_ASSIGN_OR_RETURN(ModelClustering clustering,
                        ClusterModels(matrix, zoo, ModelClusteringOptions()));
-  return ServiceArtifacts{std::move(registry), std::move(zoo),
-                          std::move(matrix), std::move(clustering), domain};
+  return ServiceArtifacts{std::move(registry),   std::move(zoo),
+                          std::move(matrix),     std::move(clustering),
+                          domain,                nullptr};
 }
 
 }  // namespace serve

@@ -1,11 +1,13 @@
 #ifndef TPS_SERVE_ARTIFACTS_H_
 #define TPS_SERVE_ARTIFACTS_H_
 
+#include <memory>
 #include <string>
 
 #include "core/model_clusterer.h"
 #include "core/performance_matrix.h"
 #include "data/registry.h"
+#include "index/ivf_index.h"
 #include "model/zoo.h"
 #include "util/statusor.h"
 
@@ -21,6 +23,11 @@ struct ArtifactPaths {
   std::string id;
   std::string matrix;
   std::string clustering;
+  /// Optional sub-linear recall index. In file mode this is the path of a
+  /// serialized IvfIndex; in store mode the index is looked up under the
+  /// same artifact id and is simply absent (never an error) when the store
+  /// has none. Leave empty for index-free file-mode serving.
+  std::string index;
 };
 
 /// Everything the online pipeline reads: the dataset inventory, the model
@@ -34,6 +41,10 @@ struct ServiceArtifacts {
   PerformanceMatrix matrix;
   ModelClustering clustering;
   TaskDomain domain = TaskDomain::kNLP;
+  /// Optional sub-linear recall index over the zoo (null = serve the
+  /// legacy clustering sweep). Shared because an ArtifactSnapshot may
+  /// outlive the slot publication that delivered it.
+  std::shared_ptr<const IvfIndex> index;
 
   /// Internal-consistency check run before artifacts are served: the
   /// matrix and clustering must cover exactly this zoo. Load() runs it on
@@ -42,7 +53,10 @@ struct ServiceArtifacts {
   Status Validate() const;
 
   /// Loads previously persisted artifacts (store or files) and validates
-  /// they match the paper zoo for the domain. The store is opened
+  /// they cover exactly one zoo: the paper zoo for the domain or, when a
+  /// store carries a differently-sized matrix, the generated zoo
+  /// reconstructed from the store's model specs in matrix column order.
+  /// The store is opened
   /// read-only-in-spirit: it is opened, read, and closed before this
   /// returns, so a long-lived service holds no lock on the log file.
   static StatusOr<ServiceArtifacts> Load(const ArtifactPaths& paths);

@@ -37,6 +37,7 @@ StatusOr<ArtifactPaths> ArtifactPathsFromFlags(const FlagParser& flags) {
   paths.id = flags.GetString("id");
   paths.matrix = flags.GetString("matrix");
   paths.clustering = flags.GetString("clustering");
+  paths.index = flags.GetString("index");
   return paths;
 }
 
@@ -86,6 +87,12 @@ StatusOr<SelectionRequest> RequestFromFlags(const FlagParser& flags) {
     return Status::InvalidArgument("--deadline must be >= 0");
   }
   TPS_ASSIGN_OR_RETURN(request.want_trace, flags.GetBool("trace", false));
+  TPS_ASSIGN_OR_RETURN(const bool no_index,
+                       flags.GetBool("no-index", false));
+  request.use_index = !no_index;
+  TPS_ASSIGN_OR_RETURN(int64_t nprobe, flags.GetInt("nprobe", 0));
+  if (nprobe < 0) return Status::InvalidArgument("--nprobe must be >= 0");
+  request.nprobe = static_cast<size_t>(nprobe);
   return request;
 }
 
@@ -185,7 +192,8 @@ int RunQueryImpl(const FlagParser& flags, const std::string& forced_cmd) {
     // the server supplies the domain itself.
     json::Value doc = json::Value::Object();
     doc.Set("cmd", json::Value::String(cmd));
-    for (const char* key : {"store", "id", "matrix", "clustering"}) {
+    for (const char* key : {"store", "id", "matrix", "clustering",
+                            "index"}) {
       const std::string value = flags.GetString(key);
       if (!value.empty()) doc.Set(key, json::Value::String(value));
     }

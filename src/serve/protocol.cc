@@ -49,7 +49,8 @@ StatusOr<WireRequest> ParseRequestLine(const std::string& line) {
       return WireRequest{WireCommand::kShutdown, {}, {}};
     } else if (name == "reload") {
       request.command = WireCommand::kReload;
-      for (const char* key : {"store", "id", "matrix", "clustering"}) {
+      for (const char* key : {"store", "id", "matrix", "clustering",
+                              "index"}) {
         if (doc.Find(key) == nullptr) continue;
         TPS_ASSIGN_OR_RETURN(const std::string value, doc.GetString(key));
         if (key == std::string("store")) request.reload.store = value;
@@ -58,6 +59,7 @@ StatusOr<WireRequest> ParseRequestLine(const std::string& line) {
         if (key == std::string("clustering")) {
           request.reload.clustering = value;
         }
+        if (key == std::string("index")) request.reload.index = value;
       }
       if (request.reload.store.empty() && request.reload.matrix.empty()) {
         return Status::InvalidArgument(
@@ -109,6 +111,15 @@ StatusOr<WireRequest> ParseRequestLine(const std::string& line) {
   if (doc.Find("trace") != nullptr) {
     TPS_ASSIGN_OR_RETURN(request.select.want_trace, doc.GetBool("trace"));
   }
+  if (doc.Find("use_index") != nullptr) {
+    TPS_ASSIGN_OR_RETURN(request.select.use_index,
+                         doc.GetBool("use_index"));
+  }
+  if (doc.Find("nprobe") != nullptr) {
+    TPS_ASSIGN_OR_RETURN(const double nprobe, doc.GetNumber("nprobe"));
+    if (nprobe < 0) return Status::InvalidArgument("\"nprobe\" must be >= 0");
+    request.select.nprobe = static_cast<size_t>(nprobe);
+  }
   return request;
 }
 
@@ -129,6 +140,10 @@ std::string RequestToLine(const SelectionRequest& request) {
     doc.Set("deadline_ms", json::Value::Number(request.deadline_ms));
   }
   if (request.want_trace) doc.Set("trace", json::Value::Bool(true));
+  if (!request.use_index) doc.Set("use_index", json::Value::Bool(false));
+  if (request.nprobe != 0) {
+    doc.Set("nprobe", json::Value::Int(static_cast<int64_t>(request.nprobe)));
+  }
   return doc.Dump(-1);
 }
 
@@ -151,6 +166,9 @@ std::string ResponseToLine(const SelectionResponse& response) {
           json::Value::Int(static_cast<int64_t>(response.cache_hits)));
   doc.Set("cache_misses",
           json::Value::Int(static_cast<int64_t>(response.cache_misses)));
+  if (!response.index_backend.empty()) {
+    doc.Set("index_backend", json::Value::String(response.index_backend));
+  }
   if (response.has_trace) {
     // The trace codec already emits deterministic JSON; parse it into the
     // reply document rather than duplicating the schema here.
@@ -268,6 +286,10 @@ StatusOr<SelectionResponse> ParseResponseLine(const std::string& line) {
   TPS_ASSIGN_OR_RETURN(const double misses, doc.GetNumber("cache_misses"));
   response.cache_hits = static_cast<uint64_t>(hits);
   response.cache_misses = static_cast<uint64_t>(misses);
+  if (doc.Find("index_backend") != nullptr) {
+    TPS_ASSIGN_OR_RETURN(response.index_backend,
+                         doc.GetString("index_backend"));
+  }
   if (const json::Value* trace = doc.Find("trace"); trace != nullptr) {
     TPS_ASSIGN_OR_RETURN(response.trace,
                          SelectionTrace::FromJson(trace->Dump(-1)));

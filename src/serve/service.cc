@@ -219,6 +219,15 @@ SelectionResponse SelectionService::Run(const SelectionRequest& request,
     // Cache/flight entries are tagged with the snapshot's version, so two
     // versions never exchange scores — even for requests racing a swap.
     options.recall.artifact_epoch = snapshot.version;
+    // Sub-linear recall: serve through the snapshot's index when it has
+    // one and the request didn't opt out. The index lives inside the
+    // snapshot, so it stays alive for the whole request even if a Reload
+    // retires this version mid-flight.
+    if (request.use_index && artifacts.index != nullptr) {
+      options.recall.index = artifacts.index.get();
+      options.recall.nprobe = request.nprobe;
+      response.index_backend = artifacts.index->name();
+    }
     options.fine_selection.threshold = request.threshold;
     options.metrics = metrics_;
     options.cancel = token;

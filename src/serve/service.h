@@ -78,6 +78,14 @@ struct SelectionRequest {
   double deadline_ms = 0.0;
   /// When true the response carries the full SelectionTrace.
   bool want_trace = false;
+  /// When true (the default) and the published artifacts carry a recall
+  /// index, recall runs the sub-linear indexed path; false forces the
+  /// legacy clustering sweep (per-request A/B switch). No effect when the
+  /// artifacts have no index.
+  bool use_index = true;
+  /// Scored partitions to probe in index mode; 0 = the index's default.
+  /// Probing every partition reproduces the legacy sweep bit-for-bit.
+  size_t nprobe = 0;
 };
 
 /// One selection answer. `status` is OK on success; on failure every other
@@ -103,6 +111,9 @@ struct SelectionResponse {
   /// so swap-under-load harnesses can attribute every answer to exactly
   /// one version.
   uint64_t artifact_version = 0;
+  /// Recall index backend that served this request ("ivf", ...), empty
+  /// when recall ran the legacy clustering sweep.
+  std::string index_backend;
   /// Full pipeline report (recall ranking, outcome, budget) for embedded
   /// callers that need more than the summary fields (e.g. markdown report
   /// rendering). Never serialized onto the wire.

@@ -9,6 +9,7 @@ constexpr char kModelPrefix[] = "model/";
 constexpr char kDatasetPrefix[] = "dataset/";
 constexpr char kMatrixPrefix[] = "matrix/";
 constexpr char kClusteringPrefix[] = "clustering/";
+constexpr char kIndexPrefix[] = "index/";
 
 std::vector<std::string> StripPrefix(std::vector<std::string> keys,
                                      size_t prefix_length) {
@@ -95,6 +96,17 @@ StatusOr<ModelClustering> ModelStore::GetClustering(
   return DeserializeClustering(payload);
 }
 
+Status ModelStore::PutRecallIndex(const std::string& id,
+                                  const IvfIndex& index) {
+  if (id.empty()) return Status::InvalidArgument("index id must be set");
+  return kv_.Put(kIndexPrefix + id, index.Serialize());
+}
+
+StatusOr<IvfIndex> ModelStore::GetRecallIndex(const std::string& id) const {
+  TPS_ASSIGN_OR_RETURN(std::string payload, kv_.Get(kIndexPrefix + id));
+  return IvfIndex::Deserialize(payload);
+}
+
 std::vector<std::string> ModelStore::ListMatrices() const {
   return StripPrefix(kv_.ScanPrefix(kMatrixPrefix),
                      sizeof(kMatrixPrefix) - 1);
@@ -103,6 +115,11 @@ std::vector<std::string> ModelStore::ListMatrices() const {
 std::vector<std::string> ModelStore::ListClusterings() const {
   return StripPrefix(kv_.ScanPrefix(kClusteringPrefix),
                      sizeof(kClusteringPrefix) - 1);
+}
+
+std::vector<std::string> ModelStore::ListIndexes() const {
+  return StripPrefix(kv_.ScanPrefix(kIndexPrefix),
+                     sizeof(kIndexPrefix) - 1);
 }
 
 Status ModelStore::Compact() { return kv_.Compact(); }

@@ -6,6 +6,7 @@
 
 #include "core/model_clusterer.h"
 #include "core/performance_matrix.h"
+#include "index/ivf_index.h"
 #include "data/dataset_spec.h"
 #include "model/model_spec.h"
 #include "store/kv_store.h"
@@ -26,6 +27,7 @@ namespace tps {
 ///   dataset/<name>    -> serialized DatasetSpec
 ///   matrix/<id>       -> serialized PerformanceMatrix
 ///   clustering/<id>   -> serialized ModelClustering
+///   index/<id>        -> serialized IvfIndex (sub-linear recall index)
 class ModelStore {
  public:
   /// Opens (or creates) the store backed by the log file at `path`,
@@ -58,9 +60,12 @@ class ModelStore {
   Status PutClustering(const std::string& id,
                        const ModelClustering& clustering);
   StatusOr<ModelClustering> GetClustering(const std::string& id) const;
+  Status PutRecallIndex(const std::string& id, const IvfIndex& index);
+  StatusOr<IvfIndex> GetRecallIndex(const std::string& id) const;
   /// Stored artifact ids, sorted.
   std::vector<std::string> ListMatrices() const;
   std::vector<std::string> ListClusterings() const;
+  std::vector<std::string> ListIndexes() const;
 
   /// Reclaims space from overwrites/deletes.
   Status Compact();

@@ -1,0 +1,149 @@
+#include "model/zoo_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/performance_matrix.h"
+#include "data/registry.h"
+#include "model/zoo.h"
+#include "sim/finetune_simulator.h"
+
+namespace tps {
+namespace {
+
+void ExpectSpecsIdentical(const std::vector<ModelSpec>& a,
+                          const std::vector<ModelSpec>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name) << i;
+    EXPECT_EQ(a[i].domain, b[i].domain) << i;
+    EXPECT_EQ(a[i].family, b[i].family) << i;
+    EXPECT_EQ(a[i].scale_millions, b[i].scale_millions) << i;
+    EXPECT_EQ(a[i].capability, b[i].capability) << i;
+    EXPECT_EQ(a[i].pretrain_tags, b[i].pretrain_tags) << i;
+    EXPECT_EQ(a[i].finetune_tags, b[i].finetune_tags) << i;
+    EXPECT_EQ(a[i].finetune_strength, b[i].finetune_strength) << i;
+    EXPECT_EQ(a[i].num_source_labels, b[i].num_source_labels) << i;
+    EXPECT_EQ(a[i].description, b[i].description) << i;
+  }
+}
+
+TEST(ZooGenTest, SameSpecIsBitIdentical) {
+  ZooGenSpec spec;
+  spec.num_models = 200;
+  spec.seed = 99;
+  auto first = GenerateZooSpecs(spec);
+  auto second = GenerateZooSpecs(spec);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ExpectSpecsIdentical(*first, *second);
+}
+
+TEST(ZooGenTest, SeedChangesTheZoo) {
+  ZooGenSpec spec;
+  spec.num_models = 100;
+  spec.seed = 1;
+  auto first = GenerateZooSpecs(spec);
+  spec.seed = 2;
+  auto second = GenerateZooSpecs(spec);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  bool any_difference = false;
+  for (size_t i = 0; i < first->size() && !any_difference; ++i) {
+    any_difference = (*first)[i].name != (*second)[i].name ||
+                     (*first)[i].capability != (*second)[i].capability ||
+                     (*first)[i].family != (*second)[i].family;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ZooGenTest, NamesCarryPrefixAndAreUnique) {
+  ZooGenSpec spec;
+  spec.num_models = 150;
+  spec.name_prefix = "zg";
+  auto specs = GenerateZooSpecs(spec);
+  ASSERT_TRUE(specs.ok());
+  EXPECT_EQ(specs->size(), 150u);
+  std::set<std::string> names;
+  for (const ModelSpec& m : *specs) {
+    EXPECT_EQ(m.name.rfind("zg/", 0), 0u) << m.name;
+    EXPECT_EQ(m.domain, TaskDomain::kNLP);
+    names.insert(m.name);
+  }
+  EXPECT_EQ(names.size(), specs->size());  // No duplicate names.
+}
+
+TEST(ZooGenTest, LineagesShareFamilyAndSingletonsExist) {
+  ZooGenSpec spec;
+  spec.num_models = 240;
+  spec.num_lineages = 12;
+  spec.singleton_fraction = 0.1;
+  auto specs = GenerateZooSpecs(spec);
+  ASSERT_TRUE(specs.ok());
+  // Lineage members share a family by construction, so the distinct
+  // family count stays far below the model count.
+  std::set<std::string> families;
+  for (const ModelSpec& m : *specs) families.insert(m.family);
+  EXPECT_LT(families.size(), specs->size() / 4);
+}
+
+TEST(ZooGenTest, RejectsInvalidSpecs) {
+  ZooGenSpec spec;
+  spec.num_models = 0;
+  EXPECT_FALSE(GenerateZooSpecs(spec).ok());
+
+  spec = ZooGenSpec();
+  spec.capability_jitter = -0.1;
+  EXPECT_FALSE(GenerateZooSpecs(spec).ok());
+
+  spec = ZooGenSpec();
+  spec.singleton_fraction = 1.5;
+  EXPECT_FALSE(GenerateZooSpecs(spec).ok());
+
+  spec = ZooGenSpec();
+  spec.name_prefix = "";
+  EXPECT_FALSE(GenerateZooSpecs(spec).ok());
+
+  spec = ZooGenSpec();
+  spec.num_models = 10;
+  spec.num_lineages = 11;
+  EXPECT_FALSE(GenerateZooSpecs(spec).ok());
+}
+
+// The determinism audit for `tps_cli zoo-gen --threads=N`: generation is
+// serial by construction, and the only threaded stage downstream is the
+// performance-matrix build — so same seed + any worker count must yield a
+// bit-identical matrix. This is the regression test for the offline
+// artifact path (`ctest -L parallel` routes it through the TSan sweep).
+TEST(ZooGenTest, MatrixBuildIsThreadCountInvariant) {
+  ZooGenSpec spec;
+  spec.num_models = 80;
+  spec.seed = 7;
+  auto specs = GenerateZooSpecs(spec);
+  ASSERT_TRUE(specs.ok());
+  auto zoo = ModelZoo::Create(*specs);
+  ASSERT_TRUE(zoo.ok()) << zoo.status().message();
+  const DatasetRegistry registry = *DatasetRegistry::CreatePaperInventory();
+  const auto benchmarks = registry.Benchmarks(TaskDomain::kNLP);
+  const FineTuneSimulator simulator;
+  const Hyperparams hp = Hyperparams::DefaultsFor(TaskDomain::kNLP);
+
+  auto serial = PerformanceMatrix::Build(*zoo, benchmarks, simulator, hp);
+  ASSERT_TRUE(serial.ok()) << serial.status().message();
+  for (int threads : {2, 4}) {
+    auto parallel = PerformanceMatrix::BuildParallel(*zoo, benchmarks,
+                                                     simulator, hp, threads);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().message();
+    EXPECT_EQ(parallel->ModelVectors(), serial->ModelVectors())
+        << threads << " threads";
+    EXPECT_EQ(parallel->ModelAverageAccuracies(),
+              serial->ModelAverageAccuracies())
+        << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace tps

@@ -2,13 +2,29 @@
 // library. Mirrors the workflow a model-repository operator runs:
 //
 //   tps_cli offline  --domain=nlp --matrix=m.txt --clustering=c.txt
+//                    [--index[=i.txt]] [--partitions=P]
+//                    [--gen=N --gen-seed=S --gen-lineages=L --prefix=gen]
 //       Build the offline artifacts (performance matrix + model
-//       clustering) for the paper zoo and persist them.
+//       clustering) for the paper zoo and persist them. --index also
+//       builds the sub-linear IVF recall index. --gen=N swaps the paper
+//       zoo for a generated zoo of N models (see zoo-gen); generated
+//       zoos always get an index, and their serving clustering is derived
+//       from the index partitioning (the hierarchical clusterer does not
+//       scale to 10k+ models).
+//
+//   tps_cli zoo-gen  --domain=nlp --count=1000 [--seed=17] [--lineages=0]
+//                    [--singleton-frac=0.05] [--jitter=0.02]
+//                    [--prefix=gen] [--store=store.log] [--sample=10]
+//       Generate a parameterized large model zoo (lineage-correlated,
+//       seeded, deterministic), print a sample, and optionally register
+//       every spec in a model store.
 //
 //   tps_cli recall   --domain=nlp --matrix=m.txt --clustering=c.txt ...
 //                    --target=mnli [--k=10] [--proxy=leep | --proxies=a,b]
+//                    [--index=i.txt|store [--nprobe=N]]
 //       Load the artifacts and print the coarse-recall ranking for a
-//       target dataset.
+//       target dataset. --index routes recall through the IVF index
+//       (--index=store loads it from the --store artifact id).
 //
 //   tps_cli select   --domain=nlp --matrix=m.txt --clustering=c.txt ...
 //                    --target=mnli [--k=10] [--threshold=0.0]
@@ -79,15 +95,20 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "core/baselines.h"
 #include "core/evaluation.h"
 #include "core/report.h"
 #include "core/two_phase.h"
 #include "data/registry.h"
+#include "index/ivf_index.h"
 #include "model/model_card.h"
 #include "model/paper_zoo.h"
+#include "model/zoo_gen.h"
 #include "serve/cli_commands.h"
 #include "store/model_store.h"
 #include "util/flags.h"
@@ -107,8 +128,8 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::cerr
-      << "usage: tps_cli <offline|recall|select|trace|baselines|datasets|"
-         "models|card|store-info|store-compact|serve|query|reload> "
+      << "usage: tps_cli <offline|zoo-gen|recall|select|trace|baselines|"
+         "datasets|models|card|store-info|store-compact|serve|query|reload> "
          "[--flags] [--metrics[=PATH]]\n"
          "run `head tools/tps_cli.cc` for the full flag reference\n";
   return 2;
@@ -204,6 +225,24 @@ StatusOr<LoadedWorld> LoadWorld(const FlagParser& flags) {
   };
   TPS_ASSIGN_OR_RETURN(PerformanceMatrix matrix, load_matrix());
   TPS_ASSIGN_OR_RETURN(ModelClustering clustering, load_clustering());
+  // Artifacts over a generated zoo (`tps_cli offline --gen=N`): rebuild
+  // the zoo from the store's registered specs, in matrix column order.
+  if (matrix.num_models() != zoo.size() && !store_path.empty()) {
+    TPS_ASSIGN_OR_RETURN(ModelStore store, ModelStore::Open(store_path));
+    std::vector<ModelSpec> specs;
+    specs.reserve(matrix.num_models());
+    for (const std::string& name : matrix.model_names()) {
+      auto spec = store.GetModelSpec(name);
+      if (!spec.ok()) {
+        return Status(spec.status().code(),
+                      "matrix model '" + name +
+                          "' is not registered in the store: " +
+                          spec.status().message());
+      }
+      specs.push_back(std::move(spec).value());
+    }
+    TPS_ASSIGN_OR_RETURN(zoo, ModelZoo::Create(specs));
+  }
   if (matrix.num_models() != zoo.size() ||
       clustering.clusters.assignments.size() != zoo.size()) {
     return Status::FailedPrecondition(
@@ -225,7 +264,36 @@ int RunOffline(const FlagParser& flags) {
 
   auto registry_or = DatasetRegistry::CreatePaperInventory();
   if (!registry_or.ok()) return Fail(registry_or.status());
-  auto zoo_or = ZooFor(domain);
+
+  // Zoo: the paper zoo, or a generated one when --gen=N is given.
+  auto gen_or = flags.GetInt("gen", 0);
+  if (!gen_or.ok()) return Fail(gen_or.status());
+  if (*gen_or < 0) {
+    return Fail(Status::InvalidArgument("--gen must be >= 0"));
+  }
+  const size_t gen_count = static_cast<size_t>(*gen_or);
+  StatusOr<ModelZoo> zoo_or = Status::Internal("unreachable");
+  if (gen_count > 0) {
+    ZooGenSpec gen_spec;
+    gen_spec.domain = domain;
+    gen_spec.num_models = gen_count;
+    auto seed_or = flags.GetInt(
+        "gen-seed", static_cast<int64_t>(gen_spec.seed));
+    if (!seed_or.ok()) return Fail(seed_or.status());
+    gen_spec.seed = static_cast<uint64_t>(*seed_or);
+    auto lineages_or = flags.GetInt("gen-lineages", 0);
+    if (!lineages_or.ok()) return Fail(lineages_or.status());
+    if (*lineages_or < 0) {
+      return Fail(Status::InvalidArgument("--gen-lineages must be >= 0"));
+    }
+    gen_spec.num_lineages = static_cast<size_t>(*lineages_or);
+    gen_spec.name_prefix = flags.GetString("prefix", "gen");
+    auto specs_or = GenerateZooSpecs(gen_spec);
+    if (!specs_or.ok()) return Fail(specs_or.status());
+    zoo_or = ModelZoo::Create(*specs_or);
+  } else {
+    zoo_or = ZooFor(domain);
+  }
   if (!zoo_or.ok()) return Fail(zoo_or.status());
 
   auto threads_or = ThreadsFromFlag(flags);
@@ -237,16 +305,39 @@ int RunOffline(const FlagParser& flags) {
       Hyperparams::DefaultsFor(domain), *threads_or);
   if (!matrix_or.ok()) return Fail(matrix_or.status());
 
-  ModelClusteringOptions options;
-  auto threshold_or =
-      flags.GetDouble("threshold", options.distance_threshold);
-  if (!threshold_or.ok()) return Fail(threshold_or.status());
-  options.distance_threshold = *threshold_or;
-  auto topk_or = flags.GetInt("topk", static_cast<int64_t>(options.top_k));
-  if (!topk_or.ok()) return Fail(topk_or.status());
-  options.top_k = static_cast<size_t>(*topk_or);
+  // Recall index: always built for a generated zoo (its serving
+  // clustering derives from the index partitioning — the hierarchical
+  // clusterer is O(n^3) and does not scale there); opt-in via --index
+  // for the paper zoo.
+  const bool build_index = gen_count > 0 || flags.Has("index");
+  std::optional<IvfIndex> index;
+  if (build_index) {
+    IvfIndexOptions index_options;
+    auto partitions_or = flags.GetInt("partitions", 0);
+    if (!partitions_or.ok()) return Fail(partitions_or.status());
+    index_options.num_partitions = static_cast<int>(*partitions_or);
+    auto index_or = IvfIndex::Build(matrix_or->ModelVectors(),
+                                    matrix_or->ModelAverageAccuracies(),
+                                    index_options);
+    if (!index_or.ok()) return Fail(index_or.status());
+    index = std::move(index_or).value();
+  }
 
-  auto clustering_or = ClusterModels(*matrix_or, *zoo_or, options);
+  StatusOr<ModelClustering> clustering_or = Status::Internal("unreachable");
+  if (gen_count > 0) {
+    clustering_or = ClusteringFromIndexStructure(index->structure());
+  } else {
+    ModelClusteringOptions options;
+    auto threshold_or =
+        flags.GetDouble("threshold", options.distance_threshold);
+    if (!threshold_or.ok()) return Fail(threshold_or.status());
+    options.distance_threshold = *threshold_or;
+    auto topk_or =
+        flags.GetInt("topk", static_cast<int64_t>(options.top_k));
+    if (!topk_or.ok()) return Fail(topk_or.status());
+    options.top_k = static_cast<size_t>(*topk_or);
+    clustering_or = ClusterModels(*matrix_or, *zoo_or, options);
+  }
   if (!clustering_or.ok()) return Fail(clustering_or.status());
 
   // Optionally also register everything in a model store.
@@ -270,6 +361,10 @@ int RunOffline(const FlagParser& flags) {
     if (!put.ok()) return Fail(put);
     put = store.PutClustering(id, *clustering_or);
     if (!put.ok()) return Fail(put);
+    if (index.has_value()) {
+      put = store.PutRecallIndex(id, *index);
+      if (!put.ok()) return Fail(put);
+    }
     std::cout << "model store -> " << store_path << " (id " << id << ", "
               << store.size() << " entries)\n";
   }
@@ -286,6 +381,86 @@ int RunOffline(const FlagParser& flags) {
             << "  model clustering   -> " << clustering_path << " ("
             << clustering_or->NonSingletonClusters().size()
             << " non-singleton clusters)\n";
+  if (index.has_value()) {
+    std::string index_path = flags.GetString("index");
+    if (index_path.empty()) index_path = "tps_index.txt";
+    save = index->SaveToFile(index_path);
+    if (!save.ok()) return Fail(save);
+    std::cout << "  recall index       -> " << index_path << " ("
+              << index->num_partitions() << " partitions, default nprobe "
+              << index->default_nprobe() << ")\n";
+  }
+  return 0;
+}
+
+int RunZooGen(const FlagParser& flags) {
+  auto domain_or = DomainFromFlag(flags);
+  if (!domain_or.ok()) return Fail(domain_or.status());
+  ZooGenSpec spec;
+  spec.domain = *domain_or;
+  auto count_or =
+      flags.GetInt("count", static_cast<int64_t>(spec.num_models));
+  if (!count_or.ok()) return Fail(count_or.status());
+  if (*count_or < 1) {
+    return Fail(Status::InvalidArgument("--count must be >= 1"));
+  }
+  spec.num_models = static_cast<size_t>(*count_or);
+  auto seed_or = flags.GetInt("seed", static_cast<int64_t>(spec.seed));
+  if (!seed_or.ok()) return Fail(seed_or.status());
+  spec.seed = static_cast<uint64_t>(*seed_or);
+  auto lineages_or = flags.GetInt("lineages", 0);
+  if (!lineages_or.ok()) return Fail(lineages_or.status());
+  if (*lineages_or < 0) {
+    return Fail(Status::InvalidArgument("--lineages must be >= 0"));
+  }
+  spec.num_lineages = static_cast<size_t>(*lineages_or);
+  auto frac_or =
+      flags.GetDouble("singleton-frac", spec.singleton_fraction);
+  if (!frac_or.ok()) return Fail(frac_or.status());
+  spec.singleton_fraction = *frac_or;
+  auto jitter_or = flags.GetDouble("jitter", spec.capability_jitter);
+  if (!jitter_or.ok()) return Fail(jitter_or.status());
+  spec.capability_jitter = *jitter_or;
+  spec.name_prefix = flags.GetString("prefix", spec.name_prefix);
+
+  auto specs_or = GenerateZooSpecs(spec);
+  if (!specs_or.ok()) return Fail(specs_or.status());
+  const std::vector<ModelSpec>& specs = *specs_or;
+
+  const std::string store_path = flags.GetString("store");
+  if (!store_path.empty()) {
+    auto store_or = ModelStore::Open(store_path);
+    if (!store_or.ok()) return Fail(store_or.status());
+    ModelStore store = std::move(store_or).value();
+    for (const ModelSpec& model : specs) {
+      Status put = store.PutModelSpec(model);
+      if (!put.ok()) return Fail(put);
+    }
+    std::cout << "model store -> " << store_path << " (" << store.size()
+              << " entries)\n";
+  }
+
+  auto sample_or = flags.GetInt("sample", 10);
+  if (!sample_or.ok()) return Fail(sample_or.status());
+  if (*sample_or < 0) {
+    return Fail(Status::InvalidArgument("--sample must be >= 0"));
+  }
+  const size_t sample = static_cast<size_t>(*sample_or);
+  if (sample > 0) {
+    TablePrinter table({"model", "family", "params (M)", "capability",
+                        "fine-tune tags"});
+    for (size_t i = 0; i < sample && i < specs.size(); ++i) {
+      const ModelSpec& model = specs[i];
+      table.AddRow({model.name, model.family,
+                    strings::FormatDouble(model.scale_millions, 0),
+                    strings::FormatDouble(model.capability, 3),
+                    strings::Join(model.finetune_tags, " ")});
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "generated " << specs.size() << " "
+            << ToString(spec.domain) << " models (seed " << spec.seed
+            << ", prefix '" << spec.name_prefix << "')\n";
   return 0;
 }
 
@@ -303,6 +478,38 @@ int RunRecall(const FlagParser& flags) {
   options.top_k_models = static_cast<size_t>(*k_or);
   options.proxy = flags.GetString("proxy", "leep");
   options.proxies = flags.GetList("proxies");
+
+  // --index=PATH loads a serialized IvfIndex; --index=store fetches it
+  // from the --store under the artifact id. Either way recall runs the
+  // sub-linear indexed path instead of the legacy clustering sweep.
+  std::optional<IvfIndex> index;
+  const std::string index_flag = flags.GetString("index");
+  if (!index_flag.empty()) {
+    StatusOr<IvfIndex> index_or = Status::Internal("unreachable");
+    if (index_flag == "store") {
+      const std::string store_path = flags.GetString("store");
+      if (store_path.empty()) {
+        return Fail(Status::InvalidArgument(
+            "--index=store needs --store=PATH"));
+      }
+      auto store_or = ModelStore::Open(store_path);
+      if (!store_or.ok()) return Fail(store_or.status());
+      const std::string id = flags.GetString(
+          "id", world.domain == TaskDomain::kNLP ? "nlp" : "cv");
+      index_or = store_or->GetRecallIndex(id);
+    } else {
+      index_or = IvfIndex::LoadFromFile(index_flag);
+    }
+    if (!index_or.ok()) return Fail(index_or.status());
+    index = std::move(index_or).value();
+    options.index = &*index;
+    auto nprobe_or = flags.GetInt("nprobe", 0);
+    if (!nprobe_or.ok()) return Fail(nprobe_or.status());
+    if (*nprobe_or < 0) {
+      return Fail(Status::InvalidArgument("--nprobe must be >= 0"));
+    }
+    options.nprobe = static_cast<size_t>(*nprobe_or);
+  }
 
   auto threads_or = ThreadsFromFlag(flags);
   if (!threads_or.ok()) return Fail(threads_or.status());
@@ -335,6 +542,11 @@ int RunRecall(const FlagParser& flags) {
   std::cout << "proxy inference cost: " << budget.inference_epochs()
             << " epoch-equivalents (" << result_or->proxies_computed
             << " forward passes)\n";
+  if (index.has_value()) {
+    std::cout << "recall index: " << index->name() << ", probed "
+              << index->ProbePartitions(options.nprobe).size() << " of "
+              << index->num_partitions() << " partitions\n";
+  }
   return 0;
 }
 
@@ -418,6 +630,15 @@ int RunSelect(const FlagParser& flags) {
   request.proxy = flags.GetString("proxy", "leep");
   request.proxies = flags.GetList("proxies");
   request.want_trace = flags.Has("trace");
+  auto no_index_or = flags.GetBool("no-index", false);
+  if (!no_index_or.ok()) return Fail(no_index_or.status());
+  request.use_index = !*no_index_or;
+  auto nprobe_or = flags.GetInt("nprobe", 0);
+  if (!nprobe_or.ok()) return Fail(nprobe_or.status());
+  if (*nprobe_or < 0) {
+    return Fail(Status::InvalidArgument("--nprobe must be >= 0"));
+  }
+  request.nprobe = static_cast<size_t>(*nprobe_or);
 
   serve::SelectionResponse response;
   for (size_t run = 0; run < repeat; ++run) {
@@ -644,6 +865,7 @@ int RunStoreInfo(const FlagParser& flags) {
   row("dataset", store.ListDatasets());
   row("matrix", store.ListMatrices());
   row("clustering", store.ListClusterings());
+  row("index", store.ListIndexes());
   table.Print(std::cout);
   return 0;
 }
@@ -669,6 +891,7 @@ int RunStoreCompact(const FlagParser& flags) {
 
 int Dispatch(const std::string& command, const FlagParser& flags) {
   if (command == "offline") return RunOffline(flags);
+  if (command == "zoo-gen") return RunZooGen(flags);
   if (command == "recall") return RunRecall(flags);
   if (command == "select") return RunSelect(flags);
   if (command == "trace") return RunTrace(flags);
