@@ -87,8 +87,8 @@ void ReportPaperTable(BenchTelemetry* telemetry) {
          strings::FormatDouble(report.selection.selected_accuracy, 3)});
 
     const std::string prefix =
-        "NLP/zoo" + std::to_string(zoo_size) + "/";
-    telemetry->RecordPhase("NLP/zoo" + std::to_string(zoo_size),
+        std::string("NLP/zoo") + std::to_string(zoo_size) + "/";
+    telemetry->RecordPhase(std::string("NLP/zoo") + std::to_string(zoo_size),
                            phase_timer.ElapsedMillis(),
                            bf_budget.training_epochs() +
                                sh_budget.training_epochs() +
@@ -183,7 +183,7 @@ void ReportIndexedRecall(BenchTelemetry* telemetry) {
     PerformanceMatrix matrix = ExitIfError(
         PerformanceMatrix::Build(zoo, benchmarks, simulator, hp), "matrix");
     telemetry->RecordPhase(
-        "NLP/gen" + std::to_string(zoo_size) + "/matrix_build",
+        std::string("NLP/gen") + std::to_string(zoo_size) + "/matrix_build",
         matrix_timer.ElapsedMillis(), 0.0, 0.0);
 
     WallTimer index_timer;
@@ -192,7 +192,7 @@ void ReportIndexedRecall(BenchTelemetry* telemetry) {
                         matrix.ModelAverageAccuracies(), IvfIndexOptions()),
         "index");
     telemetry->RecordPhase(
-        "NLP/gen" + std::to_string(zoo_size) + "/index_build",
+        std::string("NLP/gen") + std::to_string(zoo_size) + "/index_build",
         index_timer.ElapsedMillis(), 0.0, 0.0);
 
     // The oracle serves the index's own partitioning through the legacy
@@ -247,7 +247,7 @@ void ReportIndexedRecall(BenchTelemetry* telemetry) {
                   strings::FormatDouble(recall_at_k, 2),
                   identical ? "yes" : "NO"});
 
-    const std::string prefix = "NLP/gen" + std::to_string(zoo_size) + "/";
+    const std::string prefix = std::string("NLP/gen") + std::to_string(zoo_size) + "/";
     telemetry->RecordValue(prefix + "bf_recall_p50_ms", oracle_ms);
     telemetry->RecordValue(prefix + "ivf_recall_p50_ms", indexed_ms);
     telemetry->RecordValue(prefix + "speedup", speedup);
@@ -274,7 +274,7 @@ void ReportIndexedRecall(BenchTelemetry* telemetry) {
             "nprobe sweep");
       });
       const std::string key =
-          prefix + "nprobe" + std::to_string(effective) + "_";
+          prefix + std::string("nprobe") + std::to_string(effective) + "_";
       telemetry->RecordValue(key + "recall_at_10",
                              RecallAtK(oracle, sweep, kTopK));
       telemetry->RecordValue(key + "p50_ms", sweep_ms);

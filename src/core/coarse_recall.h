@@ -23,6 +23,10 @@
 
 namespace tps {
 
+namespace recall {
+class RecallBackend;
+}  // namespace recall
+
 struct RecallOptions {
   /// How many models to hand to the fine-selection phase (the paper uses
   /// 10).
@@ -84,6 +88,16 @@ struct RecallOptions {
   /// nprobe >= the scored-partition count reproduces brute force exactly.
   /// Ignored when `index` is null.
   size_t nprobe = 0;
+  /// Optional pluggable recall backend ("Recall backends" in DESIGN.md).
+  /// When non-null, TwoPhaseSelector routes phase 1 through this backend
+  /// instead of the built-in CoarseRecall path; when null (the default)
+  /// the legacy path runs untouched — the representative backend is a
+  /// pure delegation back to CoarseRecall, so routing through it is
+  /// bit-identical (tests/recall/backend_equivalence_test.cc). Forward
+  /// declared: core never links the recall library; the pointer is
+  /// injected by the serving layer. The caller owns the backend; it must
+  /// outlive the call.
+  const recall::RecallBackend* backend = nullptr;
   /// Which kernel family the proxy scorers compute with. kBatched (the
   /// default) is the SoA vectorized hot path; kReference retains the
   /// original scalar loops. Both are bit-identical by contract (the

@@ -1,5 +1,6 @@
 #include "core/two_phase.h"
 
+#include "recall/recall_backend.h"
 #include "util/logging.h"
 
 namespace tps {
@@ -53,10 +54,22 @@ StatusOr<TwoPhaseReport> TwoPhaseSelector::Select(
   }
 
   // Phase 1: coarse recall (charges 0.5 epoch-equivalents per proxy).
-  CoarseRecall recall(zoo_, matrix_, clustering_);
-  TPS_ASSIGN_OR_RETURN(report.recall,
-                       recall.Recall(target, options.recall, &report.budget,
-                                     pool, metrics, trace, options.cancel));
+  // A non-null pluggable backend takes over the whole phase; the default
+  // null path is the paper's cluster-representative proxy recall,
+  // untouched (the representative backend delegates right back here, so
+  // the two routes are bit-identical).
+  if (options.recall.backend != nullptr) {
+    TPS_ASSIGN_OR_RETURN(
+        report.recall,
+        options.recall.backend->Recall(target, options.recall,
+                                       &report.budget, pool, metrics, trace,
+                                       options.cancel));
+  } else {
+    CoarseRecall recall(zoo_, matrix_, clustering_);
+    TPS_ASSIGN_OR_RETURN(report.recall,
+                         recall.Recall(target, options.recall, &report.budget,
+                                       pool, metrics, trace, options.cancel));
+  }
   const std::vector<size_t> candidates =
       report.recall.TopModels(options.recall.top_k_models);
   if (candidates.empty()) {

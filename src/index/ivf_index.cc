@@ -230,6 +230,35 @@ std::vector<size_t> IvfIndex::ProbePartitions(size_t nprobe,
   return probed;
 }
 
+std::vector<size_t> IvfIndex::ProbePartitionsNearQuery(
+    const std::vector<double>& query, size_t nprobe) const {
+  const size_t partitions = centroids_.rows();
+  const size_t take = std::min(
+      nprobe == 0 ? std::max<size_t>(1, default_nprobe()) : nprobe,
+      partitions);
+  if (take >= partitions) {
+    std::vector<size_t> all(partitions);
+    for (size_t c = 0; c < partitions; ++c) all[c] = c;
+    return all;
+  }
+  std::vector<std::pair<double, size_t>> by_distance(partitions);
+  for (size_t c = 0; c < partitions; ++c) {
+    double dist = 0.0;
+    for (size_t d = 0; d < centroids_.cols(); ++d) {
+      const double diff = query[d] - centroids_.At(c, d);
+      dist += diff * diff;
+    }
+    by_distance[c] = {dist, c};
+  }
+  // Ascending distance; the pair's second breaks ties toward the lowest
+  // partition id, so the probe set is deterministic.
+  std::sort(by_distance.begin(), by_distance.end());
+  std::vector<size_t> probed(take);
+  for (size_t i = 0; i < take; ++i) probed[i] = by_distance[i].second;
+  std::sort(probed.begin(), probed.end());
+  return probed;
+}
+
 std::string IvfIndex::Serialize() const {
   std::ostringstream out;
   out.precision(17);

@@ -87,6 +87,18 @@ class IvfIndex : public RecallIndex {
       size_t nprobe,
       size_t target_dim = IndexStructure::kNoSlot) const override;
 
+  /// Geometric probe for an index built over *learned embedding* vectors
+  /// (the embedding recall backend, src/recall/): the `nprobe` partitions
+  /// whose centroids are nearest `query` by squared Euclidean distance
+  /// (ties -> lowest partition id), returned ascending. nprobe = 0 uses
+  /// default_nprobe(); values are clamped to the partition count. Unlike
+  /// ProbePartitions this ranks every partition, not just the scored set:
+  /// an embedding query ranks candidates by dot product, so there is no
+  /// representative-proxy step that would make unscored cells useless.
+  /// `query` must match the index dimensionality.
+  std::vector<size_t> ProbePartitionsNearQuery(
+      const std::vector<double>& query, size_t nprobe) const;
+
   /// Resolved default probe width (options.default_nprobe, or the auto
   /// rule), clamped to the scored-partition count.
   size_t default_nprobe() const;

@@ -1,0 +1,203 @@
+#include "recall/embed_trainer.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace tps {
+namespace recall {
+
+namespace {
+
+/// Per-dataset forward/backward scratch, filled by an index-addressed
+/// parallel pass and consumed by the serial reduction.
+struct DatasetPass {
+  std::vector<double> features;  // phi(d_i), cached across epochs.
+  std::vector<double> query;     // u_i = W phi(d_i).
+  std::vector<double> grad;      // dL/dz_i over all models, already / D.
+  std::vector<double> target;    // softmax(acc(i, .) / tau_acc), cached.
+  double loss = 0.0;             // Cross-entropy of this row.
+};
+
+void SoftmaxInPlace(std::vector<double>& values) {
+  double max = values[0];
+  for (double v : values) max = std::max(max, v);
+  double sum = 0.0;
+  for (double& v : values) {
+    v = std::exp(v - max);
+    sum += v;
+  }
+  for (double& v : values) v /= sum;
+}
+
+}  // namespace
+
+StatusOr<EmbedTrainingResult> TrainRecallEmbeddings(
+    const PerformanceMatrix& matrix,
+    const std::vector<const Dataset*>& benchmarks,
+    const EmbeddingConfig& config, ThreadPool* pool) {
+  const size_t num_datasets = matrix.num_datasets();
+  const size_t num_models = matrix.num_models();
+  if (num_datasets == 0 || num_models == 0) {
+    return Status::InvalidArgument("performance matrix must be non-empty");
+  }
+  if (benchmarks.size() != num_datasets) {
+    return Status::InvalidArgument(
+        "benchmark count does not match the matrix rows");
+  }
+  for (size_t i = 0; i < num_datasets; ++i) {
+    if (benchmarks[i] == nullptr) {
+      return Status::InvalidArgument("benchmark datasets must be non-null");
+    }
+    if (benchmarks[i]->name() != matrix.dataset_names()[i]) {
+      return Status::InvalidArgument(
+          "benchmark order does not match the matrix rows (" +
+          benchmarks[i]->name() + " vs " + matrix.dataset_names()[i] + ")");
+    }
+  }
+  const size_t latent = benchmarks[0]->domain_vector().size();
+  if (latent == 0) {
+    return Status::InvalidArgument("benchmark domain vectors are empty");
+  }
+  for (const Dataset* d : benchmarks) {
+    if (d->domain_vector().size() != latent) {
+      return Status::InvalidArgument("ragged benchmark domain vectors");
+    }
+  }
+  // Validate the hyperparameters up front via a throwaway artifact shape
+  // check at the end; cheap checks here keep errors close to the caller.
+  if (config.dim == 0 || config.epochs < 1 || config.learning_rate <= 0.0 ||
+      config.temperature <= 0.0 || config.accuracy_temperature <= 0.0 ||
+      config.weight_decay < 0.0) {
+    return Status::InvalidArgument("invalid embedding config");
+  }
+
+  const size_t dim = config.dim;
+  const size_t feature_dim = latent + 1;  // Bias slot.
+
+  // Seeded init: W then V, row-major draw order, so the artifact is a pure
+  // function of (matrix, benchmarks, config).
+  Rng rng(config.seed);
+  Matrix dataset_map(dim, feature_dim);
+  for (size_t r = 0; r < dim; ++r) {
+    for (size_t c = 0; c < feature_dim; ++c) {
+      dataset_map.At(r, c) = rng.Normal(0.0, 0.1);
+    }
+  }
+  std::vector<std::vector<double>> model_embeddings(
+      num_models, std::vector<double>(dim, 0.0));
+  for (std::vector<double>& v : model_embeddings) {
+    for (double& x : v) x = rng.Normal(0.0, 0.1);
+  }
+
+  std::vector<DatasetPass> passes(num_datasets);
+  for (size_t i = 0; i < num_datasets; ++i) {
+    DatasetPass& pass = passes[i];
+    pass.features = benchmarks[i]->domain_vector();
+    pass.features.push_back(1.0);
+    pass.target.resize(num_models);
+    for (size_t j = 0; j < num_models; ++j) {
+      pass.target[j] = matrix.accuracy().At(i, j) / config.accuracy_temperature;
+    }
+    SoftmaxInPlace(pass.target);
+    pass.query.resize(dim);
+    pass.grad.resize(num_models);
+  }
+
+  EmbedTrainingResult result;
+  result.epoch_losses.reserve(static_cast<size_t>(config.epochs));
+  Matrix map_grad(dim, feature_dim);
+  std::vector<std::vector<double>> model_grad(num_models,
+                                              std::vector<double>(dim, 0.0));
+  const double inv_datasets = 1.0 / static_cast<double>(num_datasets);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    // Forward + per-row backward, parallel into index-addressed slots.
+    TPS_RETURN_NOT_OK(StatusParallelFor(pool, num_datasets, [&](size_t i) {
+      DatasetPass& pass = passes[i];
+      for (size_t r = 0; r < dim; ++r) {
+        double sum = 0.0;
+        for (size_t c = 0; c < feature_dim; ++c) {
+          sum += dataset_map.At(r, c) * pass.features[c];
+        }
+        pass.query[r] = sum;
+      }
+      std::vector<double>& probs = pass.grad;  // Reused in place.
+      for (size_t j = 0; j < num_models; ++j) {
+        double dot = 0.0;
+        const std::vector<double>& v = model_embeddings[j];
+        for (size_t d = 0; d < dim; ++d) dot += pass.query[d] * v[d];
+        probs[j] = dot / config.temperature;
+      }
+      SoftmaxInPlace(probs);
+      double loss = 0.0;
+      for (size_t j = 0; j < num_models; ++j) {
+        if (pass.target[j] > 0.0) {
+          loss -= pass.target[j] * std::log(std::max(probs[j], 1e-300));
+        }
+        probs[j] = (probs[j] - pass.target[j]) * inv_datasets;
+      }
+      pass.loss = loss;
+      return Status::OK();
+    }));
+
+    // Serial index-order reduction: summation order is fixed regardless of
+    // how the passes above were scheduled, so any thread count produces
+    // bit-identical gradients.
+    double epoch_loss = 0.0;
+    std::fill(map_grad.data().begin(), map_grad.data().end(), 0.0);
+    for (std::vector<double>& g : model_grad) std::fill(g.begin(), g.end(), 0.0);
+    for (size_t i = 0; i < num_datasets; ++i) {
+      const DatasetPass& pass = passes[i];
+      epoch_loss += pass.loss * inv_datasets;
+      std::vector<double> query_grad(dim, 0.0);  // du_i.
+      for (size_t j = 0; j < num_models; ++j) {
+        const double g = pass.grad[j] / config.temperature;
+        if (g == 0.0) continue;
+        const std::vector<double>& v = model_embeddings[j];
+        std::vector<double>& vg = model_grad[j];
+        for (size_t d = 0; d < dim; ++d) {
+          query_grad[d] += g * v[d];
+          vg[d] += g * pass.query[d];
+        }
+      }
+      for (size_t r = 0; r < dim; ++r) {
+        for (size_t c = 0; c < feature_dim; ++c) {
+          map_grad.At(r, c) += query_grad[r] * pass.features[c];
+        }
+      }
+    }
+    result.epoch_losses.push_back(epoch_loss);
+
+    // Decoupled L2 decay: shrink both towers toward zero before applying
+    // the data gradient, so the decay strength is independent of the
+    // listwise loss scale.
+    const double decay = 1.0 - config.learning_rate * config.weight_decay;
+    for (size_t r = 0; r < dim; ++r) {
+      for (size_t c = 0; c < feature_dim; ++c) {
+        dataset_map.At(r, c) =
+            decay * dataset_map.At(r, c) -
+            config.learning_rate * map_grad.At(r, c);
+      }
+    }
+    for (size_t j = 0; j < num_models; ++j) {
+      for (size_t d = 0; d < dim; ++d) {
+        model_embeddings[j][d] = decay * model_embeddings[j][d] -
+                                 config.learning_rate * model_grad[j][d];
+      }
+    }
+  }
+
+  TPS_ASSIGN_OR_RETURN(
+      result.embeddings,
+      RecallEmbeddings::Create(config, std::move(dataset_map),
+                               std::move(model_embeddings),
+                               matrix.ModelAverageAccuracies(),
+                               matrix.model_names()));
+  return result;
+}
+
+}  // namespace recall
+}  // namespace tps

@@ -1,0 +1,46 @@
+#ifndef TPS_RECALL_EMBED_TRAINER_H_
+#define TPS_RECALL_EMBED_TRAINER_H_
+
+#include <vector>
+
+#include "core/performance_matrix.h"
+#include "data/dataset.h"
+#include "recall/recall_embeddings.h"
+#include "util/statusor.h"
+#include "util/thread_pool.h"
+
+namespace tps {
+namespace recall {
+
+/// The trained artifact plus the training curve, for logging and tests.
+struct EmbedTrainingResult {
+  RecallEmbeddings embeddings;
+  /// Mean softmax cross-entropy against the accuracy-derived target
+  /// distribution, one entry per epoch (recorded before that epoch's
+  /// update, so [0] is the loss of the random init).
+  std::vector<double> epoch_losses;
+};
+
+/// Trains the two-tower recall embeddings from the offline performance
+/// matrix by full-batch gradient descent with in-batch softmax negatives:
+/// every benchmark row is one listwise example whose logits are
+/// dot(u_i, v_j) / temperature over ALL models, trained toward
+/// softmax(accuracy(i, .) / accuracy_temperature).
+///
+/// `benchmarks` must match the matrix's dataset rows (same names, same
+/// order); they supply the dataset features phi(d) = [domain_vector, 1].
+///
+/// Deterministic: seeded init, and bit-identical for any thread count —
+/// the per-dataset forward/backward passes run on `pool` (may be null)
+/// into index-addressed slots, and the gradient reduction is a serial
+/// index-order sweep, so floating-point summation order never depends on
+/// scheduling.
+StatusOr<EmbedTrainingResult> TrainRecallEmbeddings(
+    const PerformanceMatrix& matrix,
+    const std::vector<const Dataset*>& benchmarks,
+    const EmbeddingConfig& config, ThreadPool* pool = nullptr);
+
+}  // namespace recall
+}  // namespace tps
+
+#endif  // TPS_RECALL_EMBED_TRAINER_H_

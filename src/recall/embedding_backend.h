@@ -1,0 +1,33 @@
+#ifndef TPS_RECALL_EMBEDDING_BACKEND_H_
+#define TPS_RECALL_EMBEDDING_BACKEND_H_
+
+#include <memory>
+
+#include "recall/recall_backend.h"
+
+namespace tps {
+namespace recall {
+
+/// Learned two-tower recall: embeds the target with one matrix-vector
+/// product (the dataset tower), ranks candidates by dot product with the
+/// trained model embeddings, min-max normalizes the dots, and applies the
+/// Eq. 2 shape recall_score = acc(m) x normalized_affinity. No proxy
+/// forward pass ever runs, so proxies_computed is 0 and the epoch budget
+/// is never charged — this is the "no per-representative LEEP inference
+/// at serve time" backend.
+///
+/// Sub-linearity: when the context carries an `embedding_index` (an
+/// IvfIndex built over the model-embedding vectors), only the posting
+/// lists of the RecallOptions::nprobe partitions nearest the query
+/// embedding are ranked; the rest of the zoo is never touched. Without
+/// an index every model is ranked (still just dot products).
+///
+/// Requires `embeddings` in the context (matching the matrix's models
+/// when a matrix is present); `embedding_index` is optional.
+StatusOr<std::unique_ptr<RecallBackend>> CreateEmbeddingBackend(
+    const RecallBackendContext& context);
+
+}  // namespace recall
+}  // namespace tps
+
+#endif  // TPS_RECALL_EMBEDDING_BACKEND_H_

@@ -1,0 +1,25 @@
+#ifndef TPS_RECALL_HYBRID_BACKEND_H_
+#define TPS_RECALL_HYBRID_BACKEND_H_
+
+#include <memory>
+
+#include "recall/recall_backend.h"
+
+namespace tps {
+namespace recall {
+
+/// Union-and-fuse recall: runs the representative and embedding backends,
+/// min-max normalizes each backend's recall scores over its own candidate
+/// set, and ranks the union by the mean of the two normalized scores
+/// (a model one backend never saw contributes 0 for that backend). The
+/// epoch budget and proxies_computed come from the representative run
+/// alone — the embedding side is free by construction.
+///
+/// Requires everything both constituent backends require.
+StatusOr<std::unique_ptr<RecallBackend>> CreateHybridBackend(
+    const RecallBackendContext& context);
+
+}  // namespace recall
+}  // namespace tps
+
+#endif  // TPS_RECALL_HYBRID_BACKEND_H_

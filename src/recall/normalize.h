@@ -1,0 +1,33 @@
+#ifndef TPS_RECALL_NORMALIZE_H_
+#define TPS_RECALL_NORMALIZE_H_
+
+#include <vector>
+
+namespace tps {
+namespace recall {
+
+/// Min-max normalizes `values` into [0, 1]; a constant vector maps to all
+/// 0.5, the same convention as the proxy-score normalization in the
+/// representative path. Local to the recall library: src/recall/
+/// deliberately cannot include transfer/ headers (the interface boundary
+/// the no-LEEP-in-recall tripwire pins), so the helper lives here.
+inline std::vector<double> MinMaxNormalized(const std::vector<double>& values) {
+  std::vector<double> normalized(values.size(), 0.5);
+  if (values.empty()) return normalized;
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    if (v < lo) lo = v;
+    if (v > hi) hi = v;
+  }
+  if (hi > lo) {
+    for (size_t i = 0; i < values.size(); ++i) {
+      normalized[i] = (values[i] - lo) / (hi - lo);
+    }
+  }
+  return normalized;
+}
+
+}  // namespace recall
+}  // namespace tps
+
+#endif  // TPS_RECALL_NORMALIZE_H_

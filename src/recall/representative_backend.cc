@@ -1,0 +1,47 @@
+#include "recall/representative_backend.h"
+
+#include <utility>
+
+namespace tps {
+namespace recall {
+
+namespace {
+
+class RepresentativeBackend : public RecallBackend {
+ public:
+  RepresentativeBackend(const ModelZoo* zoo, const PerformanceMatrix* matrix,
+                        const ModelClustering* clustering)
+      : name_("representative"), recall_(zoo, matrix, clustering) {}
+
+  const std::string& name() const override { return name_; }
+
+  StatusOr<RecallResult> Recall(const Dataset& target,
+                                const RecallOptions& options,
+                                EpochBudget* budget, ThreadPool* pool,
+                                MetricsRegistry* metrics,
+                                SelectionTrace* trace,
+                                const CancelToken* cancel) const override {
+    return recall_.Recall(target, options, budget, pool, metrics, trace,
+                          cancel);
+  }
+
+ private:
+  const std::string name_;
+  CoarseRecall recall_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<RecallBackend>> CreateRepresentativeBackend(
+    const RecallBackendContext& context) {
+  if (context.zoo == nullptr || context.matrix == nullptr ||
+      context.clustering == nullptr) {
+    return Status::InvalidArgument(
+        "representative backend needs zoo, matrix, and clustering");
+  }
+  return std::unique_ptr<RecallBackend>(new RepresentativeBackend(
+      context.zoo, context.matrix, context.clustering));
+}
+
+}  // namespace recall
+}  // namespace tps

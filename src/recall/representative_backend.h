@@ -1,0 +1,24 @@
+#ifndef TPS_RECALL_REPRESENTATIVE_BACKEND_H_
+#define TPS_RECALL_REPRESENTATIVE_BACKEND_H_
+
+#include <memory>
+
+#include "recall/recall_backend.h"
+
+namespace tps {
+namespace recall {
+
+/// The paper's cluster-representative proxy path (Eq. 2-4) behind the
+/// backend interface: a pure delegation to CoarseRecall, so the result —
+/// ranking, scores, tie order, epoch ledger, trace — is bit-identical to
+/// calling CoarseRecall::Recall directly (tests/recall/
+/// backend_equivalence_test.cc pins it serial and pooled).
+///
+/// Requires zoo + matrix + clustering in the context.
+StatusOr<std::unique_ptr<RecallBackend>> CreateRepresentativeBackend(
+    const RecallBackendContext& context);
+
+}  // namespace recall
+}  // namespace tps
+
+#endif  // TPS_RECALL_REPRESENTATIVE_BACKEND_H_

@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "core/two_phase.h"
+#include "recall/recall_backend.h"
 #include "serve/artifacts.h"
 #include "sim/finetune_simulator.h"
 
@@ -26,7 +27,10 @@ struct ArtifactSnapshot {
       : artifacts(std::move(artifacts_in)),
         version(version_in),
         selector(&artifacts.zoo, &artifacts.matrix, &artifacts.clustering,
-                 &simulator) {}
+                 &simulator),
+        backends(recall::RecallBackendContext{
+            &artifacts.zoo, &artifacts.matrix, &artifacts.clustering,
+            artifacts.embeddings.get(), artifacts.embedding_index.get()}) {}
 
   ArtifactSnapshot(const ArtifactSnapshot&) = delete;
   ArtifactSnapshot& operator=(const ArtifactSnapshot&) = delete;
@@ -38,6 +42,11 @@ struct ArtifactSnapshot {
   const uint64_t version;
   FineTuneSimulator simulator;
   TwoPhaseSelector selector;
+  /// Per-version recall backends ("Recall backends" in DESIGN.md), built
+  /// over this snapshot's own artifacts so a request routed to one can
+  /// never mix versions mid-swap. Backends the version cannot support
+  /// (no trained embeddings) are absent, not errors.
+  const recall::RecallBackendSet backends;
 };
 
 /// RCU-style holder for the current ArtifactSnapshot. Readers (requests)

@@ -95,9 +95,42 @@ StatusOr<ServiceArtifacts> ServiceArtifacts::Load(
 
   ServiceArtifacts artifacts{std::move(registry),   std::move(zoo),
                              std::move(matrix),     std::move(clustering),
-                             paths.domain,          std::move(index)};
+                             paths.domain,          std::move(index),
+                             nullptr,               nullptr};
+
+  // Trained recall embeddings: like the recall index, absent-is-OK in
+  // store mode (the embedding backend is simply unavailable then).
+  if (!paths.store.empty()) {
+    TPS_ASSIGN_OR_RETURN(ModelStore store, ModelStore::Open(paths.store));
+    auto loaded = store.GetRecallEmbeddings(EffectiveId(paths));
+    if (loaded.ok()) {
+      TPS_RETURN_NOT_OK(
+          artifacts.AttachEmbeddings(std::move(loaded).value()));
+    } else if (!loaded.status().IsNotFound()) {
+      return loaded.status();
+    }
+  } else if (!paths.embeddings.empty()) {
+    TPS_ASSIGN_OR_RETURN(
+        recall::RecallEmbeddings loaded,
+        recall::RecallEmbeddings::LoadFromFile(paths.embeddings));
+    TPS_RETURN_NOT_OK(artifacts.AttachEmbeddings(std::move(loaded)));
+  }
+
   TPS_RETURN_NOT_OK(artifacts.Validate());
   return artifacts;
+}
+
+Status ServiceArtifacts::AttachEmbeddings(recall::RecallEmbeddings trained) {
+  // The embedding-space IVF is a pure function of the embeddings (seeded
+  // k-means over the model vectors), so it is rebuilt here rather than
+  // persisted — the codec cannot desync from the build rules.
+  TPS_ASSIGN_OR_RETURN(IvfIndex built,
+                       IvfIndex::Build(trained.model_embeddings(),
+                                       trained.prior(), IvfIndexOptions()));
+  embedding_index = std::make_shared<const IvfIndex>(std::move(built));
+  embeddings =
+      std::make_shared<const recall::RecallEmbeddings>(std::move(trained));
+  return Status::OK();
 }
 
 Status ServiceArtifacts::Validate() const {
@@ -126,6 +159,18 @@ Status ServiceArtifacts::Validate() const {
         "recall index covers " + std::to_string(index->num_models()) +
         " models but the zoo has " + std::to_string(zoo.size()));
   }
+  if (embeddings != nullptr) {
+    if (embeddings->model_names() != matrix.model_names()) {
+      return Status::FailedPrecondition(
+          "recall embeddings do not match the performance matrix models; "
+          "retrain with `tps_cli train-embed`");
+    }
+    if (embedding_index == nullptr ||
+        embedding_index->num_models() != embeddings->num_models()) {
+      return Status::FailedPrecondition(
+          "embedding index does not cover the recall embeddings");
+    }
+  }
   return Status::OK();
 }
 
@@ -148,7 +193,8 @@ StatusOr<ServiceArtifacts> ServiceArtifacts::Build(TaskDomain domain,
                        ClusterModels(matrix, zoo, ModelClusteringOptions()));
   return ServiceArtifacts{std::move(registry),   std::move(zoo),
                           std::move(matrix),     std::move(clustering),
-                          domain,                nullptr};
+                          domain,                nullptr,
+                          nullptr,               nullptr};
 }
 
 }  // namespace serve

@@ -9,6 +9,7 @@
 #include "data/registry.h"
 #include "index/ivf_index.h"
 #include "model/zoo.h"
+#include "recall/recall_embeddings.h"
 #include "util/statusor.h"
 
 namespace tps {
@@ -28,6 +29,11 @@ struct ArtifactPaths {
   /// same artifact id and is simply absent (never an error) when the store
   /// has none. Leave empty for index-free file-mode serving.
   std::string index;
+  /// Optional trained recall embeddings (src/recall/). File mode: the path
+  /// of a serialized RecallEmbeddings; store mode: looked up under the
+  /// artifact id, absent-is-OK like the index. Without embeddings the
+  /// embedding/hybrid recall backends are simply unavailable.
+  std::string embeddings;
 };
 
 /// Everything the online pipeline reads: the dataset inventory, the model
@@ -45,6 +51,19 @@ struct ServiceArtifacts {
   /// legacy clustering sweep). Shared because an ArtifactSnapshot may
   /// outlive the slot publication that delivered it.
   std::shared_ptr<const IvfIndex> index;
+  /// Optional trained two-tower recall embeddings (null = the embedding
+  /// and hybrid backends are unavailable for this version).
+  std::shared_ptr<const recall::RecallEmbeddings> embeddings;
+  /// IVF over the *embedding* vectors, so embedding recall is sub-linear
+  /// too. Rebuilt deterministically from `embeddings` on attach (never
+  /// persisted — it is a pure function of the embeddings); null whenever
+  /// `embeddings` is.
+  std::shared_ptr<const IvfIndex> embedding_index;
+
+  /// Attaches trained recall embeddings and builds the embedding-space
+  /// IVF over their model vectors. Deterministic: same embeddings, same
+  /// index, bit for bit.
+  Status AttachEmbeddings(recall::RecallEmbeddings trained);
 
   /// Internal-consistency check run before artifacts are served: the
   /// matrix and clustering must cover exactly this zoo. Load() runs it on

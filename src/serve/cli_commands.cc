@@ -38,6 +38,7 @@ StatusOr<ArtifactPaths> ArtifactPathsFromFlags(const FlagParser& flags) {
   paths.matrix = flags.GetString("matrix");
   paths.clustering = flags.GetString("clustering");
   paths.index = flags.GetString("index");
+  paths.embeddings = flags.GetString("embeddings");
   return paths;
 }
 
@@ -93,6 +94,7 @@ StatusOr<SelectionRequest> RequestFromFlags(const FlagParser& flags) {
   TPS_ASSIGN_OR_RETURN(int64_t nprobe, flags.GetInt("nprobe", 0));
   if (nprobe < 0) return Status::InvalidArgument("--nprobe must be >= 0");
   request.nprobe = static_cast<size_t>(nprobe);
+  request.recall_backend = flags.GetString("backend");
   return request;
 }
 
@@ -193,7 +195,7 @@ int RunQueryImpl(const FlagParser& flags, const std::string& forced_cmd) {
     json::Value doc = json::Value::Object();
     doc.Set("cmd", json::Value::String(cmd));
     for (const char* key : {"store", "id", "matrix", "clustering",
-                            "index"}) {
+                            "index", "embeddings"}) {
       const std::string value = flags.GetString(key);
       if (!value.empty()) doc.Set(key, json::Value::String(value));
     }

@@ -50,7 +50,7 @@ StatusOr<WireRequest> ParseRequestLine(const std::string& line) {
     } else if (name == "reload") {
       request.command = WireCommand::kReload;
       for (const char* key : {"store", "id", "matrix", "clustering",
-                              "index"}) {
+                              "index", "embeddings"}) {
         if (doc.Find(key) == nullptr) continue;
         TPS_ASSIGN_OR_RETURN(const std::string value, doc.GetString(key));
         if (key == std::string("store")) request.reload.store = value;
@@ -60,6 +60,9 @@ StatusOr<WireRequest> ParseRequestLine(const std::string& line) {
           request.reload.clustering = value;
         }
         if (key == std::string("index")) request.reload.index = value;
+        if (key == std::string("embeddings")) {
+          request.reload.embeddings = value;
+        }
       }
       if (request.reload.store.empty() && request.reload.matrix.empty()) {
         return Status::InvalidArgument(
@@ -120,6 +123,10 @@ StatusOr<WireRequest> ParseRequestLine(const std::string& line) {
     if (nprobe < 0) return Status::InvalidArgument("\"nprobe\" must be >= 0");
     request.select.nprobe = static_cast<size_t>(nprobe);
   }
+  if (doc.Find("recall_backend") != nullptr) {
+    TPS_ASSIGN_OR_RETURN(request.select.recall_backend,
+                         doc.GetString("recall_backend"));
+  }
   return request;
 }
 
@@ -143,6 +150,9 @@ std::string RequestToLine(const SelectionRequest& request) {
   if (!request.use_index) doc.Set("use_index", json::Value::Bool(false));
   if (request.nprobe != 0) {
     doc.Set("nprobe", json::Value::Int(static_cast<int64_t>(request.nprobe)));
+  }
+  if (!request.recall_backend.empty()) {
+    doc.Set("recall_backend", json::Value::String(request.recall_backend));
   }
   return doc.Dump(-1);
 }
@@ -168,6 +178,9 @@ std::string ResponseToLine(const SelectionResponse& response) {
           json::Value::Int(static_cast<int64_t>(response.cache_misses)));
   if (!response.index_backend.empty()) {
     doc.Set("index_backend", json::Value::String(response.index_backend));
+  }
+  if (!response.recall_backend.empty()) {
+    doc.Set("recall_backend", json::Value::String(response.recall_backend));
   }
   if (response.has_trace) {
     // The trace codec already emits deterministic JSON; parse it into the
@@ -289,6 +302,10 @@ StatusOr<SelectionResponse> ParseResponseLine(const std::string& line) {
   if (doc.Find("index_backend") != nullptr) {
     TPS_ASSIGN_OR_RETURN(response.index_backend,
                          doc.GetString("index_backend"));
+  }
+  if (doc.Find("recall_backend") != nullptr) {
+    TPS_ASSIGN_OR_RETURN(response.recall_backend,
+                         doc.GetString("recall_backend"));
   }
   if (const json::Value* trace = doc.Find("trace"); trace != nullptr) {
     TPS_ASSIGN_OR_RETURN(response.trace,

@@ -17,11 +17,13 @@ namespace serve {
 ///
 ///   select (default when "cmd" is absent):
 ///     {"target": "mnli", "k": 10, "threshold": 0.0, "proxy": "leep",
-///      "proxies": ["leep","nce"], "deadline_ms": 250, "trace": false}
+///      "proxies": ["leep","nce"], "deadline_ms": 250, "trace": false,
+///      "recall_backend": "embedding"}   // "" = built-in recall path
 ///     -> {"ok": true, "target": "mnli", "selected": "...",
 ///         "accuracy": 0.83, "training_epochs": 17, "inference_epochs":
 ///         3.5, "total_epochs": 20.5, "survivors": [10,5,2,1,1],
 ///         "wall_ms": 1.2, "cache_hits": 7, "cache_misses": 0,
+///         "recall_backend": "embedding",  // echoed when routed
 ///         "trace": {...}}          // trace only when requested
 ///
 ///   {"cmd": "ping"}     -> {"ok": true, "pong": true}

@@ -86,6 +86,14 @@ struct SelectionRequest {
   /// Scored partitions to probe in index mode; 0 = the index's default.
   /// Probing every partition reproduces the legacy sweep bit-for-bit.
   size_t nprobe = 0;
+  /// Recall backend routing ("Recall backends" in DESIGN.md): empty (the
+  /// default) runs the built-in representative path exactly as before the
+  /// backend interface existed; "representative" / "embedding" / "hybrid"
+  /// route phase 1 through the named backend of the admission snapshot.
+  /// Unknown names fail with NotFound, names the published artifacts
+  /// cannot serve (no trained embeddings) with FailedPrecondition. For
+  /// the embedding backend `nprobe` bounds the embedding-space IVF probe.
+  std::string recall_backend;
 };
 
 /// One selection answer. `status` is OK on success; on failure every other
@@ -114,6 +122,9 @@ struct SelectionResponse {
   /// Recall index backend that served this request ("ivf", ...), empty
   /// when recall ran the legacy clustering sweep.
   std::string index_backend;
+  /// Recall backend that served this request, echoed from the request;
+  /// empty when the built-in path ran unrouted.
+  std::string recall_backend;
   /// Full pipeline report (recall ranking, outcome, budget) for embedded
   /// callers that need more than the summary fields (e.g. markdown report
   /// rendering). Never serialized onto the wire.

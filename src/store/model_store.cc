@@ -10,6 +10,7 @@ constexpr char kDatasetPrefix[] = "dataset/";
 constexpr char kMatrixPrefix[] = "matrix/";
 constexpr char kClusteringPrefix[] = "clustering/";
 constexpr char kIndexPrefix[] = "index/";
+constexpr char kEmbedPrefix[] = "embed/";
 
 std::vector<std::string> StripPrefix(std::vector<std::string> keys,
                                      size_t prefix_length) {
@@ -107,6 +108,20 @@ StatusOr<IvfIndex> ModelStore::GetRecallIndex(const std::string& id) const {
   return IvfIndex::Deserialize(payload);
 }
 
+Status ModelStore::PutRecallEmbeddings(
+    const std::string& id, const recall::RecallEmbeddings& embeddings) {
+  if (id.empty()) {
+    return Status::InvalidArgument("embeddings id must be set");
+  }
+  return kv_.Put(kEmbedPrefix + id, embeddings.Serialize());
+}
+
+StatusOr<recall::RecallEmbeddings> ModelStore::GetRecallEmbeddings(
+    const std::string& id) const {
+  TPS_ASSIGN_OR_RETURN(std::string payload, kv_.Get(kEmbedPrefix + id));
+  return recall::RecallEmbeddings::Deserialize(payload);
+}
+
 std::vector<std::string> ModelStore::ListMatrices() const {
   return StripPrefix(kv_.ScanPrefix(kMatrixPrefix),
                      sizeof(kMatrixPrefix) - 1);
@@ -120,6 +135,11 @@ std::vector<std::string> ModelStore::ListClusterings() const {
 std::vector<std::string> ModelStore::ListIndexes() const {
   return StripPrefix(kv_.ScanPrefix(kIndexPrefix),
                      sizeof(kIndexPrefix) - 1);
+}
+
+std::vector<std::string> ModelStore::ListEmbeddings() const {
+  return StripPrefix(kv_.ScanPrefix(kEmbedPrefix),
+                     sizeof(kEmbedPrefix) - 1);
 }
 
 Status ModelStore::Compact() { return kv_.Compact(); }

@@ -8,6 +8,7 @@
 #include "core/performance_matrix.h"
 #include "index/ivf_index.h"
 #include "data/dataset_spec.h"
+#include "recall/recall_embeddings.h"
 #include "model/model_spec.h"
 #include "store/kv_store.h"
 #include "util/env.h"
@@ -28,6 +29,7 @@ namespace tps {
 ///   matrix/<id>       -> serialized PerformanceMatrix
 ///   clustering/<id>   -> serialized ModelClustering
 ///   index/<id>        -> serialized IvfIndex (sub-linear recall index)
+///   embed/<id>        -> serialized RecallEmbeddings (two-tower recall)
 class ModelStore {
  public:
   /// Opens (or creates) the store backed by the log file at `path`,
@@ -62,10 +64,15 @@ class ModelStore {
   StatusOr<ModelClustering> GetClustering(const std::string& id) const;
   Status PutRecallIndex(const std::string& id, const IvfIndex& index);
   StatusOr<IvfIndex> GetRecallIndex(const std::string& id) const;
+  Status PutRecallEmbeddings(const std::string& id,
+                             const recall::RecallEmbeddings& embeddings);
+  StatusOr<recall::RecallEmbeddings> GetRecallEmbeddings(
+      const std::string& id) const;
   /// Stored artifact ids, sorted.
   std::vector<std::string> ListMatrices() const;
   std::vector<std::string> ListClusterings() const;
   std::vector<std::string> ListIndexes() const;
+  std::vector<std::string> ListEmbeddings() const;
 
   /// Reclaims space from overwrites/deletes.
   Status Compact();

@@ -16,6 +16,10 @@ fi
 
 CLI=$1
 SCRATCH=$2
+# Start from a clean scratch: stale artifacts from a previous run (e.g. a
+# store that already holds trained embeddings) would flip the
+# "before training" error checks into false failures.
+rm -rf "$SCRATCH"
 mkdir -p "$SCRATCH"
 STDOUT=$SCRATCH/stdout.txt
 STDERR=$SCRATCH/stderr.txt
@@ -126,7 +130,8 @@ require_stderr_contains "error:" "query against dead socket"
 ### the commands that need them.
 
 expect 0 "offline build" -- offline --domain=nlp \
-  --matrix="$SCRATCH/m.txt" --clustering="$SCRATCH/c.txt"
+  --matrix="$SCRATCH/m.txt" --clustering="$SCRATCH/c.txt" \
+  --store="$SCRATCH/store.log"
 
 ARTIFACTS=(--domain=nlp --matrix="$SCRATCH/m.txt"
   --clustering="$SCRATCH/c.txt" --target=mnli)
@@ -178,6 +183,45 @@ if [[ ! -s $SCRATCH/trace.json ]]; then
   echo "FAIL: select --trace=PATH did not write the trace file" >&2
   FAILURES=$((FAILURES + 1))
 fi
+
+### train-embed + select --backend: the learned recall backend. Routing to
+### a backend the artifacts cannot serve (or one that does not exist) must
+### fail loudly; after training, every backend must serve.
+
+expect 1 "train-embed without artifacts" -- train-embed --domain=nlp
+require_stderr_contains "error:" "train-embed without artifacts"
+
+expect 1 "train-embed without sink" -- train-embed --domain=nlp \
+  --matrix="$SCRATCH/m.txt"
+require_stderr_contains "error:" "train-embed without sink"
+
+expect 1 "train-embed with bad dim" -- train-embed --domain=nlp \
+  --matrix="$SCRATCH/m.txt" --out="$SCRATCH/e.txt" --dim=0
+require_stderr_contains "error:" "train-embed with bad dim"
+
+expect 1 "select with unknown backend" -- select "${ARTIFACTS[@]}" \
+  --backend=no-such-backend
+require_stderr_contains "error:" "select with unknown backend"
+
+expect 1 "select embedding backend before training" -- select --domain=nlp \
+  --store="$SCRATCH/store.log" --target=mnli --backend=embedding
+require_stderr_contains "error:" "select embedding backend before training"
+
+expect 0 "select representative backend" -- select "${ARTIFACTS[@]}" \
+  --backend=representative
+
+expect 0 "train-embed into store" -- train-embed --domain=nlp \
+  --store="$SCRATCH/store.log" --out="$SCRATCH/e.txt" --epochs=50
+if [[ ! -s $SCRATCH/e.txt ]]; then
+  echo "FAIL: train-embed --out=PATH did not write the embeddings file" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+
+expect 0 "select embedding backend from store" -- select --domain=nlp \
+  --store="$SCRATCH/store.log" --target=mnli --backend=embedding
+
+expect 0 "select hybrid backend from files" -- select "${ARTIFACTS[@]}" \
+  --embeddings="$SCRATCH/e.txt" --backend=hybrid
 
 ### --metrics: dumps after success (exit 0), never masks a failure's code,
 ### and an unwritable dump path fails a successful command.

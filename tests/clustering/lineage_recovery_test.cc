@@ -28,8 +28,8 @@ std::vector<ModelSpec> LineageZoo(int groups, int per_group, uint64_t seed) {
   for (int g = 0; g < groups; ++g) {
     for (int i = 0; i < per_group; ++i) {
       ModelSpec spec;
-      spec.name = "lineage" + std::to_string(seed) + "/g" +
-                  std::to_string(g) + "-m" + std::to_string(i);
+      spec.name = std::string("lineage") + std::to_string(seed) + "/g" +
+                  std::to_string(g) + std::string("-m") + std::to_string(i);
       spec.domain = TaskDomain::kNLP;
       spec.family = families[static_cast<size_t>(g) % families.size()];
       spec.capability = 0.5 + 0.04 * static_cast<double>(g % 4);

@@ -27,8 +27,8 @@ std::string ConfigName(const testing::TestParamInfo<Config>& info) {
   name += c.algorithm == ClusterAlgorithm::kHierarchical ? "Hier" : "Kmeans";
   name += c.similarity == ModelSimilarityKind::kPerformance ? "Perf" : "Text";
   name += "_" + c.proxy;
-  name += "_k" + std::to_string(c.recall_k);
-  name += "_t" + std::to_string(c.num_trends);
+  name += std::string("_k") + std::to_string(c.recall_k);
+  name += std::string("_t") + std::to_string(c.num_trends);
   return name;
 }
 

@@ -76,7 +76,7 @@ RandomConfig MakeRandomConfig(uint64_t seed) {
   std::vector<ModelSpec> model_specs;
   for (size_t m = 0; m < num_models; ++m) {
     ModelSpec spec;
-    spec.name = "rzoo" + std::to_string(seed) + "-m" + std::to_string(m);
+    spec.name = std::string("rzoo") + std::to_string(seed) + std::string("-m") + std::to_string(m);
     spec.domain = TaskDomain::kNLP;
     spec.family = families[rng.UniformInt(families.size())];
     spec.scale_millions = rng.Uniform(20.0, 350.0);
@@ -93,7 +93,7 @@ RandomConfig MakeRandomConfig(uint64_t seed) {
   std::vector<DatasetSpec> bench_specs;
   for (size_t d = 0; d < num_benchmarks; ++d) {
     DatasetSpec spec;
-    spec.name = "rbench" + std::to_string(seed) + "-d" + std::to_string(d);
+    spec.name = std::string("rbench") + std::to_string(seed) + std::string("-d") + std::to_string(d);
     spec.domain = TaskDomain::kNLP;
     spec.role = DatasetRole::kBenchmark;
     spec.num_labels = 2 + static_cast<int>(rng.UniformInt(uint64_t{5}));
@@ -103,7 +103,7 @@ RandomConfig MakeRandomConfig(uint64_t seed) {
     bench_specs.push_back(std::move(spec));
   }
   DatasetSpec target_spec;
-  target_spec.name = "rtarget" + std::to_string(seed);
+  target_spec.name = std::string("rtarget") + std::to_string(seed);
   target_spec.domain = TaskDomain::kNLP;
   target_spec.role = DatasetRole::kTarget;
   target_spec.num_labels = 2 + static_cast<int>(rng.UniformInt(uint64_t{4}));

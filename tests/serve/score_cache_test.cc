@@ -93,7 +93,7 @@ TEST(ProxyScoreCacheTest, SameAccessSequenceSameEvictionOrder) {
   const auto feed = [](ProxyScoreCache& cache) {
     for (int round = 0; round < 3; ++round) {
       for (uint64_t i = 0; i < 9; ++i) {
-        const ProxyCacheKey key = Key(i % 6, "m" + std::to_string(i % 5));
+        const ProxyCacheKey key = Key(i % 6, std::string("m") + std::to_string(i % 5));
         if (!cache.Lookup(key).has_value()) {
           cache.Insert(key, static_cast<double>(i));
         }

@@ -321,7 +321,7 @@ TEST_F(SelectionServerTest, ReloadOverTheWire) {
   // Persist the suite artifacts as the plain-file pair a reload names.
   const std::string dir = testing::TempDir();
   const std::string matrix_path =
-      dir + "/tps_server_test_reload_matrix_" + std::to_string(::getpid());
+      dir + std::string("/tps_server_test_reload_matrix_") + std::to_string(::getpid());
   const std::string clustering_path =
       dir + "/tps_server_test_reload_clustering_" +
       std::to_string(::getpid());

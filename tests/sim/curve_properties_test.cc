@@ -18,7 +18,7 @@ struct CurveCase {
 
 std::string CaseName(const testing::TestParamInfo<CurveCase>& info) {
   const CurveCase& c = info.param;
-  return "d" + std::to_string(static_cast<int>(c.difficulty * 100)) + "_c" +
+  return std::string("d") + std::to_string(static_cast<int>(c.difficulty * 100)) + "_c" +
          std::to_string(static_cast<int>(c.capability * 100)) + "_lr" +
          std::to_string(static_cast<int>(c.learning_rate * 1e6));
 }
@@ -29,7 +29,7 @@ TEST_P(CurvePropertiesTest, CurveInvariantsHold) {
   const CurveCase& c = GetParam();
 
   ModelSpec model_spec;
-  model_spec.name = "curveprop/model-" + CaseName({GetParam(), 0});
+  model_spec.name = std::string("curveprop/model-") + CaseName({GetParam(), 0});
   model_spec.family = "bert";
   model_spec.capability = c.capability;
   model_spec.pretrain_tags = {"english", "books"};
@@ -38,7 +38,7 @@ TEST_P(CurvePropertiesTest, CurveInvariantsHold) {
   auto model = *PretrainedModel::Create(model_spec);
 
   DatasetSpec dataset_spec;
-  dataset_spec.name = "curveprop/ds-" + CaseName({GetParam(), 0});
+  dataset_spec.name = std::string("curveprop/ds-") + CaseName({GetParam(), 0});
   dataset_spec.num_labels = 3;
   dataset_spec.difficulty = c.difficulty;
   dataset_spec.tags = {"english", "nli"};

@@ -44,7 +44,7 @@ TEST(TransferOracleTest, AccuracyWithinSaneBounds) {
   auto dataset = *Dataset::Create(MakeDatasetSpec());
   for (double cap : {0.1, 0.3, 0.5, 0.7, 0.9}) {
     auto model = *PretrainedModel::Create(
-        MakeModelSpec("m" + std::to_string(cap), cap));
+        MakeModelSpec(std::string("m") + std::to_string(cap), cap));
     const TransferTruth truth = oracle.Evaluate(model, dataset);
     EXPECT_GT(truth.asymptotic_accuracy, 0.0);
     EXPECT_LT(truth.asymptotic_accuracy, 1.0);
@@ -59,7 +59,7 @@ TEST(TransferOracleTest, HigherCapabilityHelpsOnAverage) {
   double weak_sum = 0.0, strong_sum = 0.0;
   for (int d = 0; d < 20; ++d) {
     auto dataset = *Dataset::Create(
-        MakeDatasetSpec("oracle-ds-" + std::to_string(d)));
+        MakeDatasetSpec(std::string("oracle-ds-") + std::to_string(d)));
     auto weak = *PretrainedModel::Create(MakeModelSpec("weak", 0.35));
     auto strong = *PretrainedModel::Create(MakeModelSpec("strong", 0.8));
     weak_sum += oracle.Evaluate(weak, dataset).asymptotic_accuracy;
@@ -89,7 +89,7 @@ TEST(TransferOracleTest, AccuracyRespectsChanceAndCeiling) {
   auto dataset = *Dataset::Create(narrow);
   for (double cap : {0.1, 0.5, 0.9}) {
     auto model = *PretrainedModel::Create(
-        MakeModelSpec("m" + std::to_string(cap), cap));
+        MakeModelSpec(std::string("m") + std::to_string(cap), cap));
     const TransferTruth truth = oracle.Evaluate(model, dataset);
     // Range-scaled noise keeps narrow-range targets near their band.
     EXPECT_GT(truth.asymptotic_accuracy, 0.45);
@@ -104,7 +104,7 @@ TEST(TransferOracleTest, FamilyNoiseIsSharedWithinFamily) {
   double same_family_gap = 0.0, cross_family_gap = 0.0;
   for (int d = 0; d < 25; ++d) {
     auto dataset = *Dataset::Create(
-        MakeDatasetSpec("family-ds-" + std::to_string(d)));
+        MakeDatasetSpec(std::string("family-ds-") + std::to_string(d)));
     ModelSpec a = MakeModelSpec("fam-a", 0.6);
     ModelSpec b = MakeModelSpec("fam-b", 0.6);
     ModelSpec c = MakeModelSpec("fam-c", 0.6);

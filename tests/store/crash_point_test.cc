@@ -203,7 +203,7 @@ TEST(CrashPointTest, CompactionRenameFailureKeepsStoreUsable) {
   const std::string path = TempPath("crash_compact_rename.log");
   auto store = std::move(KvStore::Open(path, &env)).value();
   for (int i = 0; i < 10; ++i) {
-    ASSERT_TRUE(store.Put("churn", "v" + std::to_string(i)).ok());
+    ASSERT_TRUE(store.Put("churn", std::string("v") + std::to_string(i)).ok());
   }
   ASSERT_TRUE(store.Put("keep", "forever").ok());
 

@@ -89,7 +89,7 @@ TEST(KvStoreTest, CompactionShrinksLogAndPreservesContents) {
   const std::string path = TempPath("kv_compact.log");
   auto store = std::move(KvStore::Open(path)).value();
   for (int i = 0; i < 50; ++i) {
-    ASSERT_TRUE(store.Put("churn", "v" + std::to_string(i)).ok());
+    ASSERT_TRUE(store.Put("churn", std::string("v") + std::to_string(i)).ok());
   }
   ASSERT_TRUE(store.Put("keep", "forever").ok());
   ASSERT_TRUE(store.Delete("churn").ok());
@@ -169,10 +169,10 @@ TEST(KvStoreTest, RandomOpsMatchReferenceModel) {
 
   for (int op = 0; op < 2000; ++op) {
     const std::string key =
-        "k" + std::to_string(rng.UniformInt(uint64_t{40}));
+        std::string("k") + std::to_string(rng.UniformInt(uint64_t{40}));
     const double dice = rng.Uniform();
     if (dice < 0.55) {
-      const std::string value = "v" + std::to_string(op);
+      const std::string value = std::string("v") + std::to_string(op);
       ASSERT_TRUE(store.Put(key, value).ok());
       reference[key] = value;
     } else if (dice < 0.85) {

@@ -73,6 +73,49 @@ else
   fail "ivf_index.cc ProbePartitions no longer references nprobe — probe budget is dead"
 fi
 
+# 5. The embedding backend's scoring section is delimited the same way:
+#    inside the markers only dot products against the trained embeddings
+#    are allowed — touching the zoo, the performance matrix, the
+#    clustering, or looping over num_models() there would reintroduce a
+#    full-zoo sweep behind the embedding IVF's back.
+EMB=$SRC/recall/embedding_backend.cc
+emb_begin=$(grep -n "\[embedding-recall-begin\]" "$EMB" | head -1 | cut -d: -f1)
+emb_end=$(grep -n "\[embedding-recall-end\]" "$EMB" | head -1 | cut -d: -f1)
+if [[ -z "$emb_begin" || -z "$emb_end" ]] || (( emb_begin >= emb_end )); then
+  fail "embedding_backend.cc: [embedding-recall-begin]/[embedding-recall-end] markers missing or out of order"
+else
+  echo "ok: embedding_backend.cc carries the embedding-recall markers"
+  emb_section=$(sed -n "${emb_begin},${emb_end}p" "$EMB")
+  emb_hits=$(echo "$emb_section" | grep -v '^[[:space:]]*//' \
+    | grep -n "zoo\|matrix\|clustering\|num_models()" || true)
+  if [[ -n "$emb_hits" ]]; then
+    fail "embedding_backend.cc scoring section must stay on the probed candidates (offsets relative to line $emb_begin)" \
+         "$emb_hits"
+  else
+    echo "ok: embedding scoring section stays on the probed candidates"
+  fi
+fi
+
+# 6. The geometric probe stays nprobe-bounded, like check 4 for the
+#    accuracy-vector probe.
+if grep -A 12 "IvfIndex::ProbePartitionsNearQuery" "$SRC/index/ivf_index.cc" | grep -q "nprobe"; then
+  echo "ok: ivf_index.cc ProbePartitionsNearQuery consumes the nprobe budget"
+else
+  fail "ivf_index.cc ProbePartitionsNearQuery no longer references nprobe — probe budget is dead"
+fi
+
+# 7. The recall subsystem must stay proxy-agnostic: backends rank with the
+#    trained embeddings and the shared CoarseRecall entry point, never by
+#    including a transfer-proxy header directly. A LEEP #include in
+#    src/recall/ couples the backend layer to one proxy implementation.
+transfer_includes=$(grep -rn '#include "transfer/' "$SRC/recall/" || true)
+if [[ -n "$transfer_includes" ]]; then
+  fail "src/recall/ includes transfer-proxy headers — backends must stay proxy-agnostic" \
+       "$transfer_includes"
+else
+  echo "ok: src/recall/ is free of transfer-proxy includes"
+fi
+
 if [[ $FAILURES -ne 0 ]]; then
   echo "$FAILURES linear-recall regression check(s) failed" >&2
   exit 1

@@ -29,11 +29,24 @@
 //   tps_cli select   --domain=nlp --matrix=m.txt --clustering=c.txt ...
 //                    --target=mnli [--k=10] [--threshold=0.0]
 //                    [--repeat=N] [--targets=a,b,c] [--cache=4096]
-//                    [--deadline=MS]
+//                    [--deadline=MS] [--backend=representative|embedding|
+//                    hybrid] [--embeddings=e.txt]
 //       Run the full two-phase selection and print the report. Runs
 //       through an in-process SelectionService, so artifacts are loaded
 //       once and --repeat / --targets reuse them (and the proxy-score
-//       cache) across requests.
+//       cache) across requests. --backend routes recall phase 1 through a
+//       named RecallBackend (embedding/hybrid need trained embeddings from
+//       `train-embed`, via the --store or --embeddings=PATH).
+//
+//   tps_cli train-embed --domain=nlp --matrix=m.txt | --store=store.log
+//                    [--dim=16] [--epochs=300] [--lr=0.5]
+//                    [--temperature=0.2] [--acc-temperature=0.05]
+//                    [--seed=7] [--threads=1] [--out=e.txt]
+//       Train the two-tower recall embeddings from the offline performance
+//       matrix (full-batch GD, in-batch softmax negatives; deterministic
+//       for any --threads). Persists into the --store under the artifact
+//       id and/or to --out as a plain file, and prints the loss curve
+//       endpoints.
 //
 //   tps_cli baselines --domain=nlp --target=mnli
 //       Compare brute force / successive halving / fine-selection /
@@ -109,6 +122,8 @@
 #include "model/model_card.h"
 #include "model/paper_zoo.h"
 #include "model/zoo_gen.h"
+#include "recall/embed_trainer.h"
+#include "recall/recall_embeddings.h"
 #include "serve/cli_commands.h"
 #include "store/model_store.h"
 #include "util/flags.h"
@@ -128,9 +143,9 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::cerr
-      << "usage: tps_cli <offline|zoo-gen|recall|select|trace|baselines|"
-         "datasets|models|card|store-info|store-compact|serve|query|reload> "
-         "[--flags] [--metrics[=PATH]]\n"
+      << "usage: tps_cli <offline|zoo-gen|recall|select|trace|train-embed|"
+         "baselines|datasets|models|card|store-info|store-compact|serve|"
+         "query|reload> [--flags] [--metrics[=PATH]]\n"
          "run `head tools/tps_cli.cc` for the full flag reference\n";
   return 2;
 }
@@ -639,6 +654,7 @@ int RunSelect(const FlagParser& flags) {
     return Fail(Status::InvalidArgument("--nprobe must be >= 0"));
   }
   request.nprobe = static_cast<size_t>(*nprobe_or);
+  request.recall_backend = flags.GetString("backend");
 
   serve::SelectionResponse response;
   for (size_t run = 0; run < repeat; ++run) {
@@ -715,6 +731,117 @@ int RunTrace(const FlagParser& flags) {
   if (!report_or.ok()) return Fail(report_or.status());
   return EmitText(trace.ToJson(2), flags.GetString("out"),
                   "selection trace");
+}
+
+int RunTrainEmbed(const FlagParser& flags) {
+  auto domain_or = DomainFromFlag(flags);
+  if (!domain_or.ok()) return Fail(domain_or.status());
+  const TaskDomain domain = *domain_or;
+  auto registry_or = DatasetRegistry::CreatePaperInventory();
+  if (!registry_or.ok()) return Fail(registry_or.status());
+
+  // Matrix comes from a model store (--store [+ --id]) or a plain file
+  // (--matrix), same convention as `recall`/`select`.
+  const std::string store_path = flags.GetString("store");
+  const std::string id =
+      flags.GetString("id", domain == TaskDomain::kNLP ? "nlp" : "cv");
+  StatusOr<PerformanceMatrix> matrix_or = Status::Internal("unreachable");
+  if (!store_path.empty()) {
+    auto store_or = ModelStore::Open(store_path);
+    if (!store_or.ok()) return Fail(store_or.status());
+    matrix_or = store_or->GetPerformanceMatrix(id);
+  } else {
+    const std::string matrix_path = flags.GetString("matrix");
+    if (matrix_path.empty()) {
+      return Fail(Status::InvalidArgument(
+          "--store or --matrix is required (run `tps_cli offline` first)"));
+    }
+    matrix_or = PerformanceMatrix::LoadFromFile(matrix_path);
+  }
+  if (!matrix_or.ok()) return Fail(matrix_or.status());
+  const PerformanceMatrix& matrix = *matrix_or;
+
+  // Benchmarks in matrix row order: the trainer validates names match.
+  std::vector<const Dataset*> benchmarks;
+  benchmarks.reserve(matrix.num_datasets());
+  for (const std::string& name : matrix.dataset_names()) {
+    auto dataset_or = registry_or->Find(name);
+    if (!dataset_or.ok()) return Fail(dataset_or.status());
+    benchmarks.push_back(*dataset_or);
+  }
+
+  recall::EmbeddingConfig config;
+  auto dim_or = flags.GetInt("dim", static_cast<int64_t>(config.dim));
+  if (!dim_or.ok()) return Fail(dim_or.status());
+  if (*dim_or < 1) {
+    return Fail(Status::InvalidArgument("--dim must be >= 1"));
+  }
+  config.dim = static_cast<size_t>(*dim_or);
+  auto epochs_or =
+      flags.GetInt("epochs", static_cast<int64_t>(config.epochs));
+  if (!epochs_or.ok()) return Fail(epochs_or.status());
+  if (*epochs_or < 1) {
+    return Fail(Status::InvalidArgument("--epochs must be >= 1"));
+  }
+  config.epochs = static_cast<int>(*epochs_or);
+  auto lr_or = flags.GetDouble("lr", config.learning_rate);
+  if (!lr_or.ok()) return Fail(lr_or.status());
+  config.learning_rate = *lr_or;
+  auto temp_or = flags.GetDouble("temperature", config.temperature);
+  if (!temp_or.ok()) return Fail(temp_or.status());
+  config.temperature = *temp_or;
+  auto acc_temp_or =
+      flags.GetDouble("acc-temperature", config.accuracy_temperature);
+  if (!acc_temp_or.ok()) return Fail(acc_temp_or.status());
+  config.accuracy_temperature = *acc_temp_or;
+  auto seed_or = flags.GetInt("seed", static_cast<int64_t>(config.seed));
+  if (!seed_or.ok()) return Fail(seed_or.status());
+  config.seed = static_cast<uint64_t>(*seed_or);
+
+  auto threads_or = ThreadsFromFlag(flags);
+  if (!threads_or.ok()) return Fail(threads_or.status());
+
+  StatusOr<recall::EmbedTrainingResult> trained_or =
+      Status::Internal("unreachable");
+  if (*threads_or == 1) {
+    trained_or = recall::TrainRecallEmbeddings(matrix, benchmarks, config);
+  } else {
+    ThreadPool pool(ThreadPool::ClampThreads(*threads_or,
+                                             matrix.num_datasets()));
+    trained_or =
+        recall::TrainRecallEmbeddings(matrix, benchmarks, config, &pool);
+  }
+  if (!trained_or.ok()) return Fail(trained_or.status());
+  const recall::EmbedTrainingResult& trained = *trained_or;
+
+  const std::string out_path = flags.GetString("out");
+  if (store_path.empty() && out_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "nowhere to persist: pass --store and/or --out=PATH"));
+  }
+  if (!store_path.empty()) {
+    auto store_or = ModelStore::Open(store_path);
+    if (!store_or.ok()) return Fail(store_or.status());
+    Status put = store_or->PutRecallEmbeddings(id, trained.embeddings);
+    if (!put.ok()) return Fail(put);
+    std::cout << "recall embeddings -> " << store_path << " (id " << id
+              << ")\n";
+  }
+  if (!out_path.empty()) {
+    Status save = trained.embeddings.SaveToFile(out_path);
+    if (!save.ok()) return Fail(save);
+    std::cout << "recall embeddings -> " << out_path << "\n";
+  }
+  std::cout << "trained " << trained.embeddings.num_models() << " model"
+            << " embeddings (dim " << trained.embeddings.dim() << ") over "
+            << matrix.num_datasets() << " benchmarks in " << config.epochs
+            << " epochs\n"
+            << "loss: " << strings::FormatDouble(
+                   trained.epoch_losses.front(), 6)
+            << " (init) -> " << strings::FormatDouble(
+                   trained.epoch_losses.back(), 6)
+            << " (final)\n";
+  return 0;
 }
 
 int RunBaselines(const FlagParser& flags) {
@@ -895,6 +1022,7 @@ int Dispatch(const std::string& command, const FlagParser& flags) {
   if (command == "recall") return RunRecall(flags);
   if (command == "select") return RunSelect(flags);
   if (command == "trace") return RunTrace(flags);
+  if (command == "train-embed") return RunTrainEmbed(flags);
   if (command == "baselines") return RunBaselines(flags);
   if (command == "datasets") return RunDatasets(flags);
   if (command == "models") return RunModels(flags);
